@@ -1,0 +1,186 @@
+// Command diffra compiles a textual IR function with a chosen register
+// allocation scheme and differential encoding configuration, then
+// reports the allocation, the encoding plan and the static costs. It
+// is the interactive front door to the library:
+//
+//	diffra -scheme coalesce -regn 12 -diffn 8 program.ir
+//	diffra -scheme baseline -regn 8 -dump program.ir
+//
+// Schemes: baseline (iterated register coalescing, direct encoding),
+// remapping (§5), select (§6), ospill (optimal spilling, direct),
+// coalesce (§7).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"diffra/internal/adjacency"
+	"diffra/internal/diffcoal"
+	"diffra/internal/diffenc"
+	"diffra/internal/diffsel"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/ospill"
+	"diffra/internal/pipeline"
+	"diffra/internal/regalloc"
+	"diffra/internal/remap"
+)
+
+func main() {
+	scheme := flag.String("scheme", "select", "baseline|remapping|select|ospill|coalesce")
+	regN := flag.Int("regn", 12, "addressable registers (RegN)")
+	diffN := flag.Int("diffn", 8, "encodable differences (DiffN)")
+	restarts := flag.Int("restarts", 1000, "remapping restarts")
+	dump := flag.Bool("dump", false, "print the allocated function")
+	listing := flag.Bool("listing", false, "print the encoded listing (differential schemes)")
+	runArgs := flag.String("run", "", "simulate with comma-separated integer arguments (e.g. -run 3,5)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: diffra [flags] program.ir")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := ir.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+
+	var (
+		out *ir.Func
+		asn *regalloc.Assignment
+	)
+	differential := true
+	switch *scheme {
+	case "baseline":
+		differential = false
+		out, asn, err = irc.Allocate(f, irc.Options{K: *regN})
+	case "remapping":
+		out, asn, err = irc.Allocate(f, irc.Options{K: *regN})
+		if err == nil {
+			g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, *regN)
+			res := remap.Auto(g, remap.Options{RegN: *regN, DiffN: *diffN, Restarts: *restarts})
+			for v, c := range asn.Color {
+				if c >= 0 {
+					asn.Color[v] = res.Perm[c]
+				}
+			}
+		}
+	case "select":
+		out, asn, err = irc.Allocate(f, irc.Options{
+			K:             *regN,
+			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: *regN, DiffN: *diffN}),
+		})
+	case "ospill":
+		differential = false
+		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: *regN})
+	case "coalesce":
+		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: *regN, DiffN: *diffN})
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		fatal(err)
+	}
+
+	spills, total := regalloc.SpillStats(out)
+	fmt.Printf("function       %s\n", out.Name)
+	fmt.Printf("scheme         %s (RegN=%d DiffN=%d)\n", *scheme, *regN, *diffN)
+	fmt.Printf("instructions   %d\n", total)
+	fmt.Printf("spill instrs   %d (%.2f%%)\n", spills, pct(spills, total))
+	fmt.Printf("spilled ranges %d\n", asn.SpilledVRegs)
+	fmt.Printf("moves removed  %d\n", asn.CoalescedMoves)
+
+	if differential {
+		cfg := diffenc.Config{RegN: *regN, DiffN: *diffN}
+		regOf := func(r ir.Reg) int { return asn.Color[r] }
+		enc, err := diffenc.Encode(out, regOf, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := diffenc.Check(out, regOf, cfg, enc); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("field width    %d bits (direct would need %d)\n", cfg.DiffW(), cfg.RegW())
+		fmt.Printf("set_last_reg   %d (%d join repairs), %.2f%% of code after insertion\n",
+			enc.Cost(), enc.JoinSets, pct(enc.Cost(), total+enc.Cost()))
+		if *listing {
+			fmt.Println()
+			fmt.Print(diffenc.Listing(out, regOf, cfg, enc))
+		}
+		// Apply the plan so the dump and simulation below see the real
+		// instruction stream (set_last_reg included).
+		enc.ApplyToIR(out)
+	}
+
+	if *dump {
+		fmt.Println()
+		fmt.Print(out)
+		fmt.Println("register assignment:")
+		for v, c := range asn.Color {
+			if c >= 0 {
+				fmt.Printf("  v%d -> R%d\n", v, c)
+			}
+		}
+	}
+
+	if *runArgs != "" {
+		args, err := parseArgs(*runArgs)
+		if err != nil {
+			fatal(err)
+		}
+		mach, err := pipeline.New(pipeline.LowEnd())
+		if err != nil {
+			fatal(err)
+		}
+		// Reference run on virtual registers, then the allocated run.
+		want, _, err := mach.Run(f, nil, pipeline.RunOptions{Args: args})
+		if err != nil {
+			fatal(err)
+		}
+		got, st, err := mach.Run(out, asn, pipeline.RunOptions{Args: args, OrigParams: f.Params})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Printf("simulated(%s)  = %d (reference %d)\n", *runArgs, got, want)
+		fmt.Printf("cycles         %d (CPI %.2f, %d instrs, %d spill ops, %d set_last_reg)\n",
+			st.Cycles, st.CPI(), st.Instrs, st.SpillOps, st.SetLastRegs)
+		if got != want {
+			fatal(fmt.Errorf("allocated run disagrees with reference"))
+		}
+	}
+}
+
+func parseArgs(s string) ([]int64, error) {
+	var out []int64
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(tok), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad argument %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diffra:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+// Command lowend reproduces the paper's low-end evaluation (§10.1,
+// Figures 11–14): the Mibench-like kernel suite compiled under all
+// five schemes, statically measured and simulated on the THUMB-like
+// 5-stage pipeline.
+//
+// Usage:
+//
+//	lowend [-restarts N] [-regn N] [-diffn N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diffra/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultLowEnd()
+	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "remapping restart count")
+	flag.IntVar(&cfg.RegN, "regn", cfg.RegN, "differential register count")
+	flag.IntVar(&cfg.DiffN, "diffn", cfg.DiffN, "encodable difference count")
+	flag.Parse()
+
+	rep, err := experiments.RunLowEnd(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lowend:", err)
+		os.Exit(1)
+	}
+	rep.WriteAll(os.Stdout)
+}

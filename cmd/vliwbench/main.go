@@ -1,0 +1,32 @@
+// Command vliwbench reproduces the paper's high-performance
+// evaluation (§10.2, Tables 2–3): 1928 SPEC-like innermost loops
+// modulo-scheduled on the 4-unit VLIW, sweeping the differential
+// register count over 40..64 with DiffN=32.
+//
+// Usage:
+//
+//	vliwbench [-loops N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"diffra/internal/experiments"
+)
+
+func main() {
+	cfg := experiments.DefaultVLIW()
+	flag.IntVar(&cfg.Loops, "loops", cfg.Loops, "loop population size")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "population seed")
+	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "kernel remapping restarts")
+	flag.Parse()
+
+	rep, err := experiments.RunVLIW(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vliwbench:", err)
+		os.Exit(1)
+	}
+	rep.WriteAll(os.Stdout)
+}

@@ -1,0 +1,215 @@
+// Package diffra is a from-scratch reproduction of "Differential
+// Register Allocation" (Zhuang & Pande, PLDI 2005): differential
+// register encoding — operand fields hold mod-RegN differences between
+// consecutive register accesses instead of absolute numbers — plus the
+// paper's three integrations with register allocation (post-pass
+// remapping, differential select, differential coalesce), the
+// substrate compilers and simulators its evaluation needs, and a
+// harness regenerating every figure and table of the paper.
+//
+// This package is the high-level facade: parse a textual IR function,
+// allocate it under a chosen scheme, differentially encode it, and
+// read back the costs. The building blocks live in internal/ packages
+// (ir, liveness, regalloc, irc, ospill, diffenc, adjacency, remap,
+// diffsel, diffcoal, encode, cache, pipeline, vliw, modsched,
+// workloads, experiments); see DESIGN.md for the map.
+package diffra
+
+import (
+	"fmt"
+
+	"diffra/internal/adjacency"
+	"diffra/internal/diffcoal"
+	"diffra/internal/diffenc"
+	"diffra/internal/diffsel"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/ospill"
+	"diffra/internal/regalloc"
+	"diffra/internal/remap"
+)
+
+// Scheme selects a register allocation strategy.
+type Scheme string
+
+// The five schemes of the paper's evaluation (§10.1).
+const (
+	// Baseline: iterated register coalescing with direct encoding.
+	Baseline Scheme = "baseline"
+	// Remapping: allocate, then permute register numbers to fit
+	// differential encoding (§5).
+	Remapping Scheme = "remapping"
+	// Select: graph coloring whose select stage minimizes differential
+	// cost (§6), refined by the post-pass.
+	Select Scheme = "select"
+	// OSpill: optimal spilling via integer programming, direct
+	// encoding (Appel & George, the paper's [1]).
+	OSpill Scheme = "ospill"
+	// Coalesce: optimal spilling plus differential coalescing (§7).
+	Coalesce Scheme = "coalesce"
+)
+
+// Options configures Compile.
+type Options struct {
+	// Scheme is the allocation strategy (default Select).
+	Scheme Scheme
+	// RegN is the number of addressable registers (default 12).
+	RegN int
+	// DiffN is the number of encodable differences (default 8).
+	// DiffN == RegN disables differential encoding (direct-equivalent).
+	DiffN int
+	// Restarts bounds the remapping search (default 1000).
+	Restarts int
+}
+
+func (o *Options) fill() {
+	if o.Scheme == "" {
+		o.Scheme = Select
+	}
+	if o.RegN == 0 {
+		o.RegN = 12
+	}
+	if o.DiffN == 0 {
+		o.DiffN = 8
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 1000
+	}
+}
+
+// Result is a compiled function.
+type Result struct {
+	// F is the allocated function: spill code inserted, coalesced
+	// moves removed, and (for differential schemes) set_last_reg
+	// instructions applied.
+	F *ir.Func
+	// Assignment maps every virtual register to a machine register.
+	Assignment *regalloc.Assignment
+	// Encoding is the differential encoding plan (nil for Baseline and
+	// OSpill, which encode directly).
+	Encoding *diffenc.Result
+	// Instrs, SpillInstrs and SetLastRegs are static counts over F.
+	Instrs, SpillInstrs, SetLastRegs int
+}
+
+// Compile parses one function in the textual IR format (see
+// internal/ir.Parse for the grammar), allocates registers under the
+// chosen scheme, and — for differential schemes — encodes it, checking
+// that every field decodes back to the allocated register along all
+// control-flow paths.
+func Compile(src string, opts Options) (*Result, error) {
+	f, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFunc(f, opts)
+}
+
+// CompileFunc is Compile for an already-constructed function.
+func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
+	opts.fill()
+	var (
+		out *ir.Func
+		asn *regalloc.Assignment
+		err error
+	)
+	differential := true
+	switch opts.Scheme {
+	case Baseline:
+		differential = false
+		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN})
+	case Remapping:
+		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN})
+		if err == nil {
+			applyRemap(out, asn, opts)
+		}
+	case Select:
+		out, asn, err = irc.Allocate(f, irc.Options{
+			K:             opts.RegN,
+			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN}),
+		})
+		if err == nil {
+			applyRemap(out, asn, opts)
+			diffsel.Refine(out, asn, diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN})
+		}
+	case OSpill:
+		differential = false
+		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN})
+	case Coalesce:
+		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN})
+		if err == nil {
+			applyRemap(out, asn, opts)
+			diffsel.Refine(out, asn, diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN})
+		}
+	default:
+		return nil, fmt.Errorf("diffra: unknown scheme %q", opts.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		return nil, err
+	}
+
+	res := &Result{F: out, Assignment: asn}
+	if differential {
+		cfg := diffenc.Config{RegN: opts.RegN, DiffN: opts.DiffN}
+		regOf := func(r ir.Reg) int { return asn.Color[r] }
+		enc, err := diffenc.Encode(out, regOf, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := diffenc.Check(out, regOf, cfg, enc); err != nil {
+			return nil, err
+		}
+		enc.ApplyToIR(out)
+		res.Encoding = enc
+		res.SetLastRegs = enc.Cost()
+	}
+	res.SpillInstrs, res.Instrs = regalloc.SpillStats(out)
+	return res, nil
+}
+
+func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options) {
+	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, opts.RegN)
+	perm := remap.Auto(g, remap.Options{
+		RegN: opts.RegN, DiffN: opts.DiffN, Restarts: opts.Restarts, Seed: 1,
+	})
+	for v, c := range asn.Color {
+		if c >= 0 {
+			asn.Color[v] = perm.Perm[c]
+		}
+	}
+}
+
+// FieldWidths reports the operand field widths of a configuration:
+// direct encoding needs RegW bits, differential encoding DiffW (§2).
+func FieldWidths(regN, diffN int) (regW, diffW int) {
+	cfg := diffenc.Config{RegN: regN, DiffN: diffN}
+	return cfg.RegW(), cfg.DiffW()
+}
+
+// EncodeSequence differentially encodes a straight-line register
+// access sequence (the §2 scheme); see internal/diffenc for the full
+// control-flow-aware encoder.
+func EncodeSequence(regs []int, regN, diffN int) (codes []int, repairs map[int]int, err error) {
+	return diffenc.EncodeSequence(regs, diffenc.Config{RegN: regN, DiffN: diffN})
+}
+
+// DecodeSequence inverts EncodeSequence.
+func DecodeSequence(codes []int, repairs map[int]int, regN, diffN int) ([]int, error) {
+	return diffenc.DecodeSequence(codes, repairs, nil, diffenc.Config{RegN: regN, DiffN: diffN})
+}
+
+// AdjacencyCost evaluates condition (3) over an access sequence under
+// a given numbering: the number of adjacent pairs needing a
+// set_last_reg.
+func AdjacencyCost(regs []int, regN, diffN int) int {
+	cost := 0
+	for i := 1; i < len(regs); i++ {
+		if !adjacency.Satisfied(regs[i-1], regs[i], regN, diffN) {
+			cost++
+		}
+	}
+	return cost
+}

@@ -1,0 +1,125 @@
+package diffra
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+func acc(v0, v1) {
+entry:
+  v2 = li 0
+  v3 = li 0
+  jmp head
+head:
+  blt v3, v1 -> body, out
+body:
+  v4 = load v0, 0
+  v2 = add v2, v4
+  v5 = li 1
+  v3 = add v3, v5
+  v6 = li 4
+  v0 = add v0, v6
+  jmp head
+out:
+  ret v2
+}
+`
+
+func TestCompileAllSchemes(t *testing.T) {
+	for _, s := range []Scheme{Baseline, Remapping, Select, OSpill, Coalesce} {
+		res, err := Compile(sample, Options{Scheme: s, RegN: 8, DiffN: 4, Restarts: 50})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if res.Instrs == 0 {
+			t.Errorf("%s: empty result", s)
+		}
+		differential := s == Remapping || s == Select || s == Coalesce
+		if differential && res.Encoding == nil {
+			t.Errorf("%s: missing encoding", s)
+		}
+		if !differential && res.Encoding != nil {
+			t.Errorf("%s: unexpected encoding", s)
+		}
+		if err := res.F.Verify(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestCompileRejectsGarbage(t *testing.T) {
+	if _, err := Compile("not ir at all", Options{}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Compile(sample, Options{Scheme: "nope"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	res, err := Compile(sample, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Encoding == nil {
+		t.Fatal("default scheme should be differential")
+	}
+	if res.Encoding.Cfg.RegN != 12 || res.Encoding.Cfg.DiffN != 8 {
+		t.Fatalf("defaults: %+v", res.Encoding.Cfg)
+	}
+}
+
+func TestFieldWidths(t *testing.T) {
+	regW, diffW := FieldWidths(12, 8)
+	if regW != 4 || diffW != 3 {
+		t.Fatalf("widths %d/%d, want 4/3", regW, diffW)
+	}
+}
+
+func TestSequenceFacade(t *testing.T) {
+	regs := []int{1, 3, 8}
+	codes, repairs, err := EncodeSequence(regs, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2's running example: differences 1, 2, 5.
+	want := []int{1, 2, 5}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	back, err := DecodeSequence(codes, repairs, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regs {
+		if back[i] != regs[i] {
+			t.Fatalf("roundtrip %v != %v", back, regs)
+		}
+	}
+}
+
+func TestAdjacencyCost(t *testing.T) {
+	// 3 -> 2 is difference 7 with RegN=8: violated at DiffN=2.
+	if c := AdjacencyCost([]int{2, 3, 2}, 8, 2); c != 1 {
+		t.Fatalf("cost = %d, want 1", c)
+	}
+	if c := AdjacencyCost([]int{2, 3, 2}, 8, 8); c != 0 {
+		t.Fatalf("direct-equivalent cost = %d, want 0", c)
+	}
+}
+
+func TestCompileSpillsUnderPressure(t *testing.T) {
+	res, err := Compile(sample, Options{Scheme: Baseline, RegN: 3, DiffN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpillInstrs == 0 {
+		t.Fatal("expected spill code at RegN=3")
+	}
+	if !strings.Contains(res.F.String(), "spill_") {
+		t.Fatal("spill instructions not present in output")
+	}
+}

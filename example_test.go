@@ -1,0 +1,65 @@
+package diffra_test
+
+import (
+	"fmt"
+
+	"diffra"
+)
+
+// ExampleEncodeSequence reproduces the paper's §2 running example:
+// accessing R1, R3, R8 in order encodes the differences 1, 2, 5.
+func ExampleEncodeSequence() {
+	codes, repairs, err := diffra.EncodeSequence([]int{1, 3, 8}, 16, 8)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(codes, len(repairs))
+	// Output: [1 2 5] 0
+}
+
+// ExampleDecodeSequence shows the decoder recovering register numbers
+// from differences, applying a set_last_reg repair.
+func ExampleDecodeSequence() {
+	// §2.3: R0, R2, R1 with RegN=4, DiffN=2 needs repairs.
+	codes, repairs, _ := diffra.EncodeSequence([]int{0, 2, 1}, 4, 2)
+	regs, _ := diffra.DecodeSequence(codes, repairs, 4, 2)
+	fmt.Println(regs)
+	// Output: [0 2 1]
+}
+
+// ExampleFieldWidths shows the §2 field-width saving: 12 registers
+// through 3-bit fields (direct encoding would need 4 bits).
+func ExampleFieldWidths() {
+	regW, diffW := diffra.FieldWidths(12, 8)
+	fmt.Println(regW, diffW)
+	// Output: 4 3
+}
+
+// ExampleCompile compiles a function with differential select and
+// reports the static costs.
+func ExampleCompile() {
+	res, err := diffra.Compile(`
+func f(v0, v1) {
+entry:
+  v2 = add v0, v1
+  v3 = add v2, v0
+  ret v3
+}
+`, diffra.Options{Scheme: diffra.Select, RegN: 8, DiffN: 4, Restarts: 50})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Instrs > 0, res.SpillInstrs, res.Encoding != nil)
+	// Output: true 0 true
+}
+
+// ExampleAdjacencyCost evaluates condition (3) over an access
+// sequence: with DiffN=2 the backward step 3->2 (difference 7 mod 8)
+// needs a set_last_reg.
+func ExampleAdjacencyCost() {
+	fmt.Println(diffra.AdjacencyCost([]int{2, 3, 2}, 8, 2))
+	fmt.Println(diffra.AdjacencyCost([]int{2, 3, 2}, 8, 8))
+	// Output:
+	// 1
+	// 0
+}

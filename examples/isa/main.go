@@ -1,0 +1,66 @@
+// ISA-features example: the paper's §9 "other considerations" in one
+// place — register classes with independent last_reg trackers (§9.1),
+// a reserved stack-pointer code (§9.2), last_reg as the only extra
+// context-switch state (§9.3), and the §9.4 encoding alternatives —
+// plus the §2.1 sequential/parallel decoder equivalence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"diffra/internal/diffenc"
+)
+
+func main() {
+	// §9.1 — two register classes (say, integer and floating point).
+	// Even registers are class 0, odd class 1; each class keeps its own
+	// last_reg, so interleaved accesses stay cheap within each class.
+	cls := func(r int) int { return r % 2 }
+	cfg := diffenc.Config{RegN: 16, DiffN: 4, ClassOf: cls}
+	regs := []int{2, 1, 4, 3, 6, 5} // int: 2,4,6 / float: 1,3,5
+	codes, repairs, err := diffenc.EncodeSequence(regs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("§9.1 two classes: %v encodes as %v (repairs: %v)\n", regs, codes, repairs)
+	fmt.Println("     every per-class difference is +2; one class never disturbs the other")
+
+	// §9.2 — reserved stack pointer: 16 registers in 3-bit fields by
+	// reserving code 7 for R15; DiffN becomes 7.
+	sp := diffenc.Config{RegN: 16, DiffN: 7, Reserved: []int{15}}
+	regs = []int{3, 15, 4, 15, 5}
+	codes, repairs, err = diffenc.EncodeSequence(regs, sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n§9.2 reserved SP: %v encodes as %v (code 7 = R15, last_reg untouched)\n", regs, codes)
+	fmt.Printf("     field width: %d bits for all 16 registers (direct needs %d)\n", sp.DiffW(), sp.RegW())
+
+	// §9.3 — context switches save one value: last_reg.
+	dec, err := diffenc.NewDecoder(sp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dec.DecodeInstr([]int{3, 1}, nil); err != nil {
+		log.Fatal(err)
+	}
+	saved := dec.LastReg(0)
+	fmt.Printf("\n§9.3 context switch: save last_reg=%d, restore it with set_last_reg on resume\n", saved)
+
+	// §2.1 — sequential vs parallel decode: identical results.
+	seqD, _ := diffenc.NewDecoder(sp)
+	parD, _ := diffenc.NewDecoder(sp)
+	fields := []int{3, 1, 2}
+	a, _ := seqD.DecodeInstr(fields, nil)
+	b, _ := parD.DecodeInstrParallel(fields, nil)
+	fmt.Printf("\n§2.1 decode %v: sequential %v == parallel prefix adders %v\n", fields, a, b)
+
+	// §9.4 — per-instruction last_reg beats per-field on ping-pong
+	// operand patterns like x = op x, y.
+	pingpong := []int{2, 3, 2, 2, 3, 2, 2, 3, 2} // three x = op x, y instructions
+	perField := diffenc.Config{RegN: 12, DiffN: 2}
+	_, rep1, _ := diffenc.EncodeSequence(pingpong, perField)
+	fmt.Printf("\n§9.4 ping-pong x=op x,y with DiffN=2: per-field needs %d repairs in a flat sequence\n", len(rep1))
+	fmt.Println("     (per-instruction last_reg removes them — see experiments.RunAlternatives)")
+}

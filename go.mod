@@ -1,0 +1,3 @@
+module diffra
+
+go 1.22

@@ -1,0 +1,162 @@
+// Package bitset provides a dense bit set over small non-negative
+// integers. Liveness analysis and the interference graph use it to
+// keep dataflow iteration and interference queries cheap.
+package bitset
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// Set is a growable dense bit set. The zero value is an empty set.
+type Set struct {
+	words []uint64
+}
+
+// New returns a set with capacity hint n bits.
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+63)/64)}
+}
+
+func (s *Set) grow(i int) {
+	w := i/64 + 1
+	for len(s.words) < w {
+		s.words = append(s.words, 0)
+	}
+}
+
+// Add inserts i.
+func (s *Set) Add(i int) {
+	s.grow(i)
+	s.words[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Remove deletes i.
+func (s *Set) Remove(i int) {
+	if i/64 < len(s.words) {
+		s.words[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i/64 >= len(s.words) {
+		return false
+	}
+	return s.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Len counts the elements.
+func (s *Set) Len() int {
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear empties the set, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Copy returns an independent copy.
+func (s *Set) Copy() *Set {
+	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// UnionWith adds all elements of t; reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	changed := false
+	for i, w := range t.words {
+		if w == 0 {
+			continue
+		}
+		if i >= len(s.words) {
+			s.grow(i*64 + 63)
+		}
+		if old := s.words[i]; old|w != old {
+			s.words[i] = old | w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DiffWith removes all elements of t from s.
+func (s *Set) DiffWith(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// IntersectWith keeps only elements also in t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// Equal reports whether the two sets hold the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i, w := range short {
+		if long[i] != w {
+			return false
+		}
+	}
+	for _, w := range long[len(short):] {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Elems returns the elements in ascending order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Len())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as {a b c}.
+func (s *Set) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			sb.WriteByte(' ')
+		}
+		first = false
+		sb.WriteString(strconv.Itoa(i))
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,160 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(10)
+	if s.Has(3) || s.Len() != 0 {
+		t.Fatal("new set not empty")
+	}
+	s.Add(3)
+	s.Add(100) // beyond initial capacity
+	s.Add(3)   // idempotent
+	if !s.Has(3) || !s.Has(100) || s.Len() != 2 {
+		t.Fatalf("after adds: %v len=%d", s, s.Len())
+	}
+	s.Remove(3)
+	s.Remove(999) // out of range is a no-op
+	if s.Has(3) || s.Len() != 1 {
+		t.Fatal("remove failed")
+	}
+	if s.Has(-1) {
+		t.Fatal("negative membership")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := New(0)
+	b := New(0)
+	for _, x := range []int{1, 5, 64, 130} {
+		a.Add(x)
+	}
+	for _, x := range []int{5, 9, 130} {
+		b.Add(x)
+	}
+	u := a.Copy()
+	if !u.UnionWith(b) {
+		t.Fatal("union should change")
+	}
+	if u.Len() != 5 {
+		t.Fatalf("union len = %d", u.Len())
+	}
+	if u.UnionWith(b) {
+		t.Fatal("second union must not change")
+	}
+	d := a.Copy()
+	d.DiffWith(b)
+	if d.Has(5) || d.Has(130) || !d.Has(1) || !d.Has(64) {
+		t.Fatalf("diff = %v", d)
+	}
+	i := a.Copy()
+	i.IntersectWith(b)
+	if i.Len() != 2 || !i.Has(5) || !i.Has(130) {
+		t.Fatalf("intersect = %v", i)
+	}
+}
+
+func TestEqualAcrossCapacities(t *testing.T) {
+	a := New(1)
+	b := New(1000)
+	a.Add(7)
+	b.Add(7)
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Fatal("equal sets with different capacity reported unequal")
+	}
+	b.Add(900)
+	if a.Equal(b) {
+		t.Fatal("unequal sets reported equal")
+	}
+}
+
+func TestElemsSortedAndString(t *testing.T) {
+	s := New(0)
+	for _, x := range []int{65, 2, 300, 0} {
+		s.Add(x)
+	}
+	e := s.Elems()
+	want := []int{0, 2, 65, 300}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("Elems = %v", e)
+		}
+	}
+	if s.String() != "{0 2 65 300}" {
+		t.Fatalf("String = %s", s.String())
+	}
+}
+
+// Property: the set behaves identically to a reference map-based set
+// under a random operation sequence.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(0)
+		ref := map[int]bool{}
+		for i := 0; i < 500; i++ {
+			x := rng.Intn(256)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(x)
+				ref[x] = true
+			case 1:
+				s.Remove(x)
+				delete(ref, x)
+			case 2:
+				if s.Has(x) != ref[x] {
+					return false
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for x := range ref {
+			if !s.Has(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and DiffWith(s, s) empties.
+func TestQuickAlgebraLaws(t *testing.T) {
+	mk := func(xs []uint8) *Set {
+		s := New(0)
+		for _, x := range xs {
+			s.Add(int(x))
+		}
+		return s
+	}
+	comm := func(xs, ys []uint8) bool {
+		a1 := mk(xs)
+		a1.UnionWith(mk(ys))
+		b1 := mk(ys)
+		b1.UnionWith(mk(xs))
+		return a1.Equal(b1)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Fatalf("union commutativity: %v", err)
+	}
+	selfDiff := func(xs []uint8) bool {
+		s := mk(xs)
+		s.DiffWith(mk(xs))
+		return s.Len() == 0
+	}
+	if err := quick.Check(selfDiff, nil); err != nil {
+		t.Fatalf("self diff: %v", err)
+	}
+}

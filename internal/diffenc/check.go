@@ -1,0 +1,246 @@
+package diffenc
+
+import (
+	"fmt"
+	"sort"
+
+	"diffra/internal/ir"
+)
+
+// Check verifies an encoding result by abstract interpretation,
+// independently of the encoder's own join analysis: it propagates the
+// set of possible last_reg values per class along every CFG path,
+// applies the planned set_last_reg instructions, decodes every field,
+// and confirms the decoded register equals the allocated one. Any
+// ambiguity (a field decoded under two possible last_reg values) or
+// mismatch is an error. This is the package's ground-truth test that
+// the hardware decoder of §2 would reproduce the program exactly.
+func Check(f *ir.Func, regOf func(ir.Reg) int, cfg Config, res *Result) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+
+	// Codes per block, aligned with the access walk.
+	codeIdx := 0
+	blockCodes := make([][]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		n := 0
+		for _, in := range b.Instrs {
+			n += len(fieldsOf(in, cfg))
+		}
+		if codeIdx+n > len(res.Codes) {
+			return fmt.Errorf("diffenc: code stream too short")
+		}
+		blockCodes[b.Index] = res.Codes[codeIdx : codeIdx+n]
+		codeIdx += n
+	}
+	if codeIdx != len(res.Codes) {
+		return fmt.Errorf("diffenc: code stream has %d extra codes", len(res.Codes)-codeIdx)
+	}
+
+	// Sets per block, ordered by (Before, effective delay).
+	blockSets := make([][]SetPoint, len(f.Blocks))
+	for _, s := range res.Sets {
+		blockSets[s.Block.Index] = append(blockSets[s.Block.Index], s)
+	}
+	for _, sets := range blockSets {
+		sort.SliceStable(sets, func(i, j int) bool {
+			if sets[i].Before != sets[j].Before {
+				return sets[i].Before < sets[j].Before
+			}
+			return effK(sets[i]) < effK(sets[j])
+		})
+	}
+
+	type state map[int]map[int]bool // class -> possible last_reg values
+	cloneState := func(s state) state {
+		c := make(state, len(s))
+		for cls, vals := range s {
+			cv := make(map[int]bool, len(vals))
+			for v := range vals {
+				cv[v] = true
+			}
+			c[cls] = cv
+		}
+		return c
+	}
+	mergeInto := func(dst, src state) bool {
+		changed := false
+		for cls, vals := range src {
+			dv := dst[cls]
+			if dv == nil {
+				dv = map[int]bool{}
+				dst[cls] = dv
+			}
+			for v := range vals {
+				if !dv[v] {
+					dv[v] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+
+	// walk decodes one block from in-state; returns out-state.
+	walk := func(b *ir.Block, in state) (state, error) {
+		s := cloneState(in)
+		sets := blockSets[b.Index]
+		si := 0
+		var base map[int]int // per-instruction mode: class -> base value
+		applySets := func(instr, field int) {
+			for si < len(sets) && sets[si].Before == instr && effK(sets[si]) == field {
+				v := sets[si].Value
+				s[cfg.classOf(v)] = map[int]bool{v: true}
+				if base != nil {
+					base[cfg.classOf(v)] = v
+				}
+				si++
+			}
+		}
+		ci := 0
+		for ii, in2 := range b.Instrs {
+			flds := fieldsOf(in2, cfg)
+			if cfg.PerInstruction {
+				base = map[int]int{}
+			}
+			instrLast := map[int]int{}
+			for k := range flds {
+				applySets(ii, k)
+				expected := regOf(flds[k])
+				code := blockCodes[b.Index][ci]
+				ci++
+				if rc, ok := cfg.reservedCode(expected); ok {
+					if code != rc {
+						return nil, fmt.Errorf("diffenc: %s instr %d field %d: reserved R%d encoded as %d, want %d",
+							b.Name, ii, k, expected, code, rc)
+					}
+					continue
+				}
+				if code >= cfg.DiffN {
+					return nil, fmt.Errorf("diffenc: %s instr %d field %d: code %d is a reserved slot but R%d is not reserved",
+						b.Name, ii, k, code, expected)
+				}
+				cls := cfg.classOf(expected)
+				var prev int
+				if cfg.PerInstruction {
+					if v, ok := base[cls]; ok {
+						prev = v
+					} else {
+						vals := s[cls]
+						if len(vals) == 0 {
+							vals = map[int]bool{0: true}
+						}
+						if len(vals) > 1 {
+							return nil, fmt.Errorf("diffenc: %s instr %d field %d: ambiguous last_reg %v",
+								b.Name, ii, k, keys(vals))
+						}
+						for v := range vals {
+							prev = v
+						}
+						base[cls] = prev
+					}
+				} else {
+					vals := s[cls]
+					if len(vals) == 0 {
+						vals = map[int]bool{0: true} // hardware reset value
+					}
+					if len(vals) > 1 {
+						return nil, fmt.Errorf("diffenc: %s instr %d field %d: ambiguous last_reg %v (multi-path inconsistency unrepaired)",
+							b.Name, ii, k, keys(vals))
+					}
+					for v := range vals {
+						prev = v
+					}
+				}
+				got := Step(prev, code, cfg.RegN)
+				if got != expected {
+					return nil, fmt.Errorf("diffenc: %s instr %d field %d: decoded R%d, want R%d (prev=%d code=%d)",
+						b.Name, ii, k, got, expected, prev, code)
+				}
+				if cfg.PerInstruction {
+					instrLast[cls] = got
+				} else {
+					s[cls] = map[int]bool{got: true}
+				}
+			}
+			// Per-instruction mode: last_reg advances to the class's
+			// final field now that the instruction is fully decoded.
+			for cls, v := range instrLast {
+				s[cls] = map[int]bool{v: true}
+			}
+			// Sets scheduled after all fields of this instruction (a
+			// delay equal to the field count) take effect now.
+			applySets(ii, len(flds))
+		}
+		// Any remaining head sets of later instruction indexes with no
+		// fields: apply them in order.
+		for si < len(sets) {
+			v := sets[si].Value
+			s[cfg.classOf(v)] = map[int]bool{v: true}
+			si++
+		}
+		return s, nil
+	}
+
+	// Fixpoint over the CFG.
+	inStates := make([]state, len(f.Blocks))
+	for i := range inStates {
+		inStates[i] = state{}
+	}
+	entryState := state{}
+	// Reset: every class starts at 0.
+	entryState[0] = map[int]bool{0: true}
+	if cfg.ClassOf != nil {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for _, r := range in.RegFields() {
+					entryState[cfg.classOf(regOf(r))] = map[int]bool{0: true}
+				}
+			}
+		}
+	}
+	inStates[f.Entry().Index] = entryState
+
+	rpo := f.ReversePostorder()
+	reached := make([]bool, len(f.Blocks))
+	reached[f.Entry().Index] = true
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if !reached[b.Index] {
+				continue
+			}
+			out, err := walk(b, inStates[b.Index])
+			if err != nil {
+				return err
+			}
+			for _, succ := range b.Succs {
+				if !reached[succ.Index] {
+					reached[succ.Index] = true
+					changed = true
+				}
+				if mergeInto(inStates[succ.Index], out) {
+					changed = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func effK(s SetPoint) int {
+	if s.Delay < 0 {
+		return 0
+	}
+	return s.Delay
+}
+
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,105 @@
+package diffenc
+
+import "fmt"
+
+// Decoder models the hardware decode stage of §2.1: one last_reg
+// register per class plus small modulo adders. Two implementations are
+// provided, matching the paper's discussion:
+//
+//   - DecodeInstr decodes the register fields of one instruction
+//     sequentially, each field's result feeding the next (Equation 2);
+//   - DecodeInstrParallel decodes all fields in one step with prefix
+//     modulo adders (n1 = last+d1, n2 = last+d1+d2, ...), the form the
+//     paper proposes to keep decode off the critical path.
+//
+// The two must be observationally identical; the property test in
+// decoder_test.go checks that on random field streams.
+type Decoder struct {
+	cfg  Config
+	last map[int]int
+}
+
+// NewDecoder builds a decoder with every class's last_reg reset to 0.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{cfg: cfg, last: map[int]int{}}, nil
+}
+
+// SetLastReg models the set_last_reg instruction's immediate form: it
+// writes value into the last_reg of value's class.
+func (d *Decoder) SetLastReg(value int) {
+	d.last[d.cfg.classOf(value)] = value
+}
+
+// LastReg exposes the current last_reg of a class (for tests and
+// context-switch save/restore, §9.3: "only the last_reg should be
+// stored together with the context").
+func (d *Decoder) LastReg(class int) int { return d.last[class] }
+
+// decodeOne resolves one field code against a class's last_reg without
+// updating state; reserved codes bypass the adder entirely.
+func (d *Decoder) decodeOne(code, prev int) (reg int, reserved bool, err error) {
+	if code < 0 || code >= d.cfg.DiffN+len(d.cfg.Reserved) {
+		return 0, false, fmt.Errorf("diffenc: field code %d out of range", code)
+	}
+	if code >= d.cfg.DiffN {
+		return d.cfg.Reserved[code-d.cfg.DiffN], true, nil
+	}
+	return Step(prev, code, d.cfg.RegN), false, nil
+}
+
+// DecodeInstr decodes one instruction's register fields sequentially.
+// classes[i] names the register class of field i (nil: single class),
+// known to hardware from the opcode before register decode (§9.1).
+func (d *Decoder) DecodeInstr(codes []int, classes []int) ([]int, error) {
+	regs := make([]int, len(codes))
+	for i, code := range codes {
+		cls := classOfField(classes, i)
+		reg, reserved, err := d.decodeOne(code, d.last[cls])
+		if err != nil {
+			return nil, err
+		}
+		regs[i] = reg
+		if !reserved {
+			d.last[cls] = reg
+		}
+	}
+	return regs, nil
+}
+
+// DecodeInstrParallel decodes all fields of one instruction in a
+// single combinational step: for each class, field k's register is
+// last_reg plus the prefix sum of that class's differences up to k
+// (mod RegN). Reserved codes contribute nothing to any prefix.
+func (d *Decoder) DecodeInstrParallel(codes []int, classes []int) ([]int, error) {
+	regs := make([]int, len(codes))
+	prefix := map[int]int{} // class -> accumulated difference
+	lastField := map[int]int{}
+	for i, code := range codes {
+		cls := classOfField(classes, i)
+		if code < 0 || code >= d.cfg.DiffN+len(d.cfg.Reserved) {
+			return nil, fmt.Errorf("diffenc: field code %d out of range", code)
+		}
+		if code >= d.cfg.DiffN {
+			regs[i] = d.cfg.Reserved[code-d.cfg.DiffN]
+			continue
+		}
+		prefix[cls] = (prefix[cls] + code) % d.cfg.RegN
+		regs[i] = Step(d.last[cls], prefix[cls], d.cfg.RegN)
+		lastField[cls] = i
+	}
+	// Commit each class's final value to last_reg.
+	for cls, i := range lastField {
+		d.last[cls] = regs[i]
+	}
+	return regs, nil
+}
+
+func classOfField(classes []int, i int) int {
+	if classes == nil {
+		return 0
+	}
+	return classes[i]
+}

@@ -1,0 +1,155 @@
+package diffenc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecoderSequentialBasics(t *testing.T) {
+	d, err := NewDecoder(Config{RegN: 16, DiffN: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §2's example: R1, R3, R8 from last_reg 0: codes 1, 2, 5.
+	regs, err := d.DecodeInstr([]int{1, 2, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 8}
+	for i := range want {
+		if regs[i] != want[i] {
+			t.Fatalf("regs = %v, want %v", regs, want)
+		}
+	}
+	if d.LastReg(0) != 8 {
+		t.Errorf("last_reg = %d, want 8", d.LastReg(0))
+	}
+}
+
+func TestDecoderSetLastReg(t *testing.T) {
+	d, _ := NewDecoder(Config{RegN: 4, DiffN: 2})
+	d.SetLastReg(2)
+	regs, err := d.DecodeInstr([]int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs[0] != 2 {
+		t.Fatalf("decoded %d, want 2", regs[0])
+	}
+}
+
+func TestDecoderRejectsBadCode(t *testing.T) {
+	d, _ := NewDecoder(Config{RegN: 8, DiffN: 4})
+	if _, err := d.DecodeInstr([]int{4}, nil); err == nil {
+		t.Fatal("code 4 with DiffN=4 and no reserved slots must fail")
+	}
+	d2, _ := NewDecoder(Config{RegN: 8, DiffN: 4})
+	if _, err := d2.DecodeInstrParallel([]int{9}, nil); err == nil {
+		t.Fatal("parallel decoder accepted bad code")
+	}
+}
+
+func TestDecoderReservedBypassesAdder(t *testing.T) {
+	cfg := Config{RegN: 16, DiffN: 7, Reserved: []int{15}}
+	d, _ := NewDecoder(cfg)
+	regs, err := d.DecodeInstr([]int{3, 7, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 -> R3; code 7 -> reserved R15 (last_reg untouched); 1 -> R4.
+	if regs[0] != 3 || regs[1] != 15 || regs[2] != 4 {
+		t.Fatalf("regs = %v", regs)
+	}
+}
+
+// TestQuickParallelEqualsSequential is §2.1's correctness claim: the
+// prefix-adder parallel decode is observationally identical to the
+// sequential decode, across instructions, classes and reserved codes.
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := Config{RegN: 8 + rng.Intn(24), DiffN: 0}
+		cfg.DiffN = 1 + rng.Intn(cfg.RegN)
+		if rng.Intn(3) == 0 {
+			cfg.Reserved = []int{cfg.RegN - 1}
+		}
+		multiClass := rng.Intn(2) == 0
+		if multiClass {
+			cfg.ClassOf = func(r int) int { return r % 2 }
+		}
+		seqD, err := NewDecoder(cfg)
+		if err != nil {
+			return false
+		}
+		parD, _ := NewDecoder(cfg)
+		for instr := 0; instr < 20; instr++ {
+			n := 1 + rng.Intn(3)
+			codes := make([]int, n)
+			var classes []int
+			if multiClass {
+				classes = make([]int, n)
+			}
+			for i := range codes {
+				codes[i] = rng.Intn(cfg.DiffN + len(cfg.Reserved))
+				if multiClass {
+					classes[i] = rng.Intn(2)
+				}
+			}
+			a, err1 := seqD.DecodeInstr(codes, classes)
+			b, err2 := parD.DecodeInstrParallel(codes, classes)
+			if (err1 == nil) != (err2 == nil) {
+				return false
+			}
+			if err1 != nil {
+				continue
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+			// Occasionally interleave a set_last_reg on both decoders.
+			if rng.Intn(4) == 0 {
+				v := rng.Intn(cfg.RegN)
+				seqD.SetLastReg(v)
+				parD.SetLastReg(v)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The decoder must agree with the sequence encoder: decoding the codes
+// EncodeSequence produced (applying repairs) reproduces the registers.
+func TestDecoderAgreesWithEncoder(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		regN := 4 + rng.Intn(28)
+		cfg := Config{RegN: regN, DiffN: 1 + rng.Intn(regN)}
+		regs := make([]int, rng.Intn(40))
+		for i := range regs {
+			regs[i] = rng.Intn(regN)
+		}
+		codes, repairs, err := EncodeSequence(regs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _ := NewDecoder(cfg)
+		for i, code := range codes {
+			if v, ok := repairs[i]; ok {
+				d.SetLastReg(v)
+			}
+			got, err := d.DecodeInstr([]int{code}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != regs[i] {
+				t.Fatalf("trial %d field %d: decoded R%d, want R%d", trial, i, got[0], regs[i])
+			}
+		}
+	}
+}

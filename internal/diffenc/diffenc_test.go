@@ -1,0 +1,281 @@
+package diffenc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestModuloDefinition checks Definition 1's examples: 4 mod 3 = 1,
+// -1 mod 3 = 2 (as differences).
+func TestModuloDefinition(t *testing.T) {
+	if d := Diff(0, 4, 3); d != 1 {
+		t.Errorf("4 mod 3 = %d, want 1", d)
+	}
+	if d := Diff(1, 0, 3); d != 2 {
+		t.Errorf("-1 mod 3 = %d, want 2", d)
+	}
+}
+
+// TestFigure1Hops checks the clockwise-hop reading of Figure 1 and the
+// running example of §2: accessing R1, R3, R8 in order encodes
+// differences 2 (R1->R3) and 5 (R3->R8).
+func TestFigure1Hops(t *testing.T) {
+	regN := 16
+	if d := Diff(1, 3, regN); d != 2 {
+		t.Errorf("R1->R3 = %d, want 2", d)
+	}
+	if d := Diff(3, 8, regN); d != 5 {
+		t.Errorf("R3->R8 = %d, want 5", d)
+	}
+	// Wrap-around: moving "backwards" takes the long way clockwise.
+	if d := Diff(8, 1, regN); d != 9 {
+		t.Errorf("R8->R1 = %d, want 9", d)
+	}
+	if d := Diff(5, 5, regN); d != 0 {
+		t.Errorf("self = %d, want 0", d)
+	}
+}
+
+func TestStepInvertsDiff(t *testing.T) {
+	f := func(prev, cur uint8, regNRaw uint8) bool {
+		regN := int(regNRaw%30) + 2
+		p := int(prev) % regN
+		c := int(cur) % regN
+		return Step(p, Diff(p, c, regN), regN) == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidths(t *testing.T) {
+	// Figure 2's configuration: RegN=4 registers, DiffN=2 differences:
+	// RegW=2 bits, DiffW=1 bit — the 50% field-width saving of §2.
+	cfg := Config{RegN: 4, DiffN: 2}
+	if cfg.RegW() != 2 || cfg.DiffW() != 1 {
+		t.Errorf("RegW=%d DiffW=%d, want 2/1", cfg.RegW(), cfg.DiffW())
+	}
+	// The low-end evaluation (§10.1): RegN=12, DiffN=8 -> 3-bit fields
+	// that would need 4 bits under direct encoding.
+	cfg = Config{RegN: 12, DiffN: 8}
+	if cfg.RegW() != 4 || cfg.DiffW() != 3 {
+		t.Errorf("RegW=%d DiffW=%d, want 4/3", cfg.RegW(), cfg.DiffW())
+	}
+	// §9.2's example: 16 registers, 3-bit fields, one reserved code for
+	// the stack pointer leaves DiffN=7.
+	cfg = Config{RegN: 16, DiffN: 7, Reserved: []int{15}}
+	if cfg.DiffW() != 3 {
+		t.Errorf("DiffW=%d, want 3", cfg.DiffW())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{RegN: 1, DiffN: 1},
+		{RegN: 8, DiffN: 0},
+		{RegN: 8, DiffN: 9},
+		{RegN: 8, DiffN: 4, Reserved: []int{8}},
+		{RegN: 8, DiffN: 4, Reserved: []int{-1}},
+		{RegN: 8, DiffN: 4, Reserved: []int{3, 3}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+	}
+	if err := (Config{RegN: 8, DiffN: 8}).Validate(); err != nil {
+		t.Errorf("DiffN == RegN must be valid (direct-equivalent): %v", err)
+	}
+}
+
+func TestEncodeSequenceFigure2Style(t *testing.T) {
+	// With RegN=4, DiffN=2 a sequence whose consecutive differences are
+	// all 0 or 1 encodes without any repair.
+	cfg := Config{RegN: 4, DiffN: 2}
+	regs := []int{0, 1, 1, 2, 3, 0, 1}
+	codes, repairs, err := EncodeSequence(regs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 0 {
+		t.Fatalf("unexpected repairs %v", repairs)
+	}
+	want := []int{0, 1, 0, 1, 1, 1, 1}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	back, err := DecodeSequence(codes, repairs, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regs {
+		if back[i] != regs[i] {
+			t.Fatalf("decode = %v, want %v", back, regs)
+		}
+	}
+}
+
+func TestEncodeSequenceOutOfRange(t *testing.T) {
+	// §2.3's example: R1 = R0 + R2 gives access sequence 0, 2, 1 with
+	// RegN=4, DiffN=2. Fields 2 and 1 are out of range and need
+	// set_last_reg repairs; the repaired fields encode 0.
+	cfg := Config{RegN: 4, DiffN: 2}
+	regs := []int{0, 2, 1}
+	codes, repairs, err := EncodeSequence(regs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 2 || repairs[1] != 2 || repairs[2] != 1 {
+		t.Fatalf("repairs = %v, want {1:2, 2:1}", repairs)
+	}
+	if codes[0] != 0 || codes[1] != 0 || codes[2] != 0 {
+		t.Fatalf("codes = %v", codes)
+	}
+	back, err := DecodeSequence(codes, repairs, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regs {
+		if back[i] != regs[i] {
+			t.Fatalf("decode = %v, want %v", back, regs)
+		}
+	}
+}
+
+func TestEncodeSequenceReserved(t *testing.T) {
+	// R15 is the stack pointer, reserved with code 7 (§9.2). Accesses
+	// to it are direct and do not disturb last_reg.
+	cfg := Config{RegN: 16, DiffN: 7, Reserved: []int{15}}
+	regs := []int{3, 15, 4, 15, 5}
+	codes, repairs, err := EncodeSequence(regs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 0 {
+		t.Fatalf("repairs = %v; diffs 3,1,1 are all in range", repairs)
+	}
+	if codes[1] != 7 || codes[3] != 7 {
+		t.Fatalf("reserved codes wrong: %v", codes)
+	}
+	if codes[2] != 1 || codes[4] != 1 {
+		t.Fatalf("last_reg must skip reserved accesses: %v", codes)
+	}
+	back, err := DecodeSequence(codes, repairs, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regs {
+		if back[i] != regs[i] {
+			t.Fatalf("decode = %v, want %v", back, regs)
+		}
+	}
+}
+
+func TestEncodeSequenceClasses(t *testing.T) {
+	// Two classes (e.g. integer / float); each keeps its own last_reg
+	// (§9.1): even regs class 0, odd class 1.
+	cls := func(r int) int { return r % 2 }
+	cfg := Config{RegN: 16, DiffN: 4, ClassOf: cls}
+	regs := []int{2, 1, 4, 3, 6, 5}
+	codes, repairs, err := EncodeSequence(regs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 0 {
+		t.Fatalf("repairs = %v; per-class diffs are all 2", repairs)
+	}
+	classes := make([]int, len(regs))
+	for i, r := range regs {
+		classes[i] = cls(r)
+	}
+	back, err := DecodeSequence(codes, repairs, classes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range regs {
+		if back[i] != regs[i] {
+			t.Fatalf("decode = %v, want %v", back, regs)
+		}
+	}
+}
+
+func TestEncodeSequenceRejectsOutOfRangeReg(t *testing.T) {
+	cfg := Config{RegN: 4, DiffN: 2}
+	if _, _, err := EncodeSequence([]int{5}, cfg); err == nil {
+		t.Fatal("register 5 with RegN=4 must be rejected")
+	}
+}
+
+// Property: sequence encode/decode roundtrips for arbitrary register
+// sequences under arbitrary valid configurations.
+func TestQuickSequenceRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		regN := 2 + rng.Intn(30)
+		diffN := 1 + rng.Intn(regN)
+		cfg := Config{RegN: regN, DiffN: diffN}
+		if rng.Intn(2) == 0 && regN > 2 {
+			cfg.Reserved = []int{regN - 1}
+		}
+		n := rng.Intn(60)
+		regs := make([]int, n)
+		for i := range regs {
+			regs[i] = rng.Intn(regN)
+		}
+		codes, repairs, err := EncodeSequence(regs, cfg)
+		if err != nil {
+			return false
+		}
+		back, err := DecodeSequence(codes, repairs, nil, cfg)
+		if err != nil {
+			return false
+		}
+		for i := range regs {
+			if back[i] != regs[i] {
+				return false
+			}
+		}
+		// All codes must fit in DiffW bits.
+		maxCode := cfg.DiffN + len(cfg.Reserved)
+		for _, c := range codes {
+			if c < 0 || c >= maxCode {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with DiffN == RegN differential encoding never needs
+// repairs (every difference is representable), mirroring the paper's
+// RegN = DiffN = 8 baseline where "no differential encoding is
+// applied".
+func TestQuickFullDiffNeverRepairs(t *testing.T) {
+	f := func(raw []uint8) bool {
+		cfg := Config{RegN: 8, DiffN: 8}
+		regs := make([]int, len(raw))
+		for i, r := range raw {
+			regs[i] = int(r) % 8
+		}
+		_, repairs, err := EncodeSequence(regs, cfg)
+		return err == nil && len(repairs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 128: 7}
+	for n, w := range cases {
+		if got := Log2Ceil(n); got != w {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", n, got, w)
+		}
+	}
+}

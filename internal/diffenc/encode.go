@@ -1,0 +1,371 @@
+package diffenc
+
+import (
+	"fmt"
+	"sort"
+
+	"diffra/internal/ir"
+)
+
+// Access identifies one register field of a function, in nominal
+// access order (block layout order, instructions in order, fields
+// src1..srcN then dst).
+type Access struct {
+	Block *ir.Block
+	Instr int // instruction index within the block
+	Field int // field index within the instruction
+	Reg   int // machine register number accessed
+}
+
+// fieldsOf returns an instruction's register fields in the configured
+// access order.
+func fieldsOf(in *ir.Instr, cfg Config) []ir.Reg {
+	if !cfg.DstFirst {
+		return in.RegFields()
+	}
+	if in.Op == ir.OpSetLastReg {
+		return nil
+	}
+	fields := make([]ir.Reg, 0, len(in.Defs)+len(in.Uses))
+	fields = append(fields, in.Defs...)
+	fields = append(fields, in.Uses...)
+	return fields
+}
+
+// AccessSequence extracts the register access sequence of an allocated
+// function in the paper's default order (src1, src2, ..., dst). regOf
+// maps a vreg operand to its machine register. For alternate orders
+// use AccessSequenceOrdered.
+func AccessSequence(f *ir.Func, regOf func(ir.Reg) int) []Access {
+	return AccessSequenceOrdered(f, regOf, Config{})
+}
+
+// AccessSequenceOrdered is AccessSequence under cfg's access order.
+func AccessSequenceOrdered(f *ir.Func, regOf func(ir.Reg) int, cfg Config) []Access {
+	var seq []Access
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			for k, r := range fieldsOf(in, cfg) {
+				seq = append(seq, Access{Block: b, Instr: i, Field: k, Reg: regOf(r)})
+			}
+		}
+	}
+	return seq
+}
+
+// SetPoint is a planned set_last_reg insertion.
+type SetPoint struct {
+	Block *ir.Block
+	// Before is the instruction index the set precedes.
+	Before int
+	// Value is written into last_reg.
+	Value int
+	// Delay is the number of register fields of the following
+	// instruction decoded before the set takes effect; -1 for
+	// immediate (the one-argument form).
+	Delay int
+}
+
+// Result is the outcome of Encode.
+type Result struct {
+	Cfg Config
+	// Codes[i] is the encoded field value for the i-th access of
+	// AccessSequence: a difference in [0, DiffN) or a reserved code.
+	Codes []int
+	// Sets lists the planned set_last_reg instructions; Cost == len(Sets).
+	Sets []SetPoint
+	// JoinSets counts the subset of Sets repairing multi-path
+	// inconsistency; the rest repair out-of-range differences.
+	JoinSets int
+}
+
+// Cost returns the number of set_last_reg instructions, the extra-cost
+// metric of the paper's figures 12–13.
+func (r *Result) Cost() int { return len(r.Sets) }
+
+// lattice for the reaching-last_reg analysis.
+const (
+	lUnknown  = -1
+	lConflict = -2
+)
+
+type lastState map[int]int // class -> register, lUnknown, or lConflict
+
+func (s lastState) get(cls int) int {
+	if v, ok := s[cls]; ok {
+		return v
+	}
+	return lUnknown
+}
+
+func (s lastState) clone() lastState {
+	c := make(lastState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// meet joins a predecessor's out-state into s, ignoring classes pinned
+// by an already-planned head set; reports change.
+func (s lastState) meet(p lastState, pinned map[int]int) bool {
+	changed := false
+	for cls, pv := range p {
+		if pv == lUnknown {
+			continue
+		}
+		if _, pin := pinned[cls]; pin {
+			continue
+		}
+		switch sv := s.get(cls); {
+		case sv == lUnknown:
+			s[cls] = pv
+			changed = true
+		case sv == lConflict:
+		case sv != pv:
+			s[cls] = lConflict
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Encode plans differential encoding for an allocated function. regOf
+// maps each operand to its machine register in [0, cfg.RegN). The
+// initial last_reg is 0 for every class (the paper's n0 = 0).
+//
+// Joins whose predecessors disagree on last_reg get a set_last_reg at
+// the block head (value = the block's first accessed register of the
+// conflicting class, so the first field encodes difference 0).
+// Out-of-range differences get a set_last_reg before the instruction
+// with the field's index as decode delay, and the field encodes 0.
+func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seq := AccessSequenceOrdered(f, regOf, cfg)
+	for _, a := range seq {
+		if a.Reg < 0 || a.Reg >= cfg.RegN {
+			return nil, fmt.Errorf("diffenc: %s instr %d field %d: register %d outside [0, %d)",
+				a.Block.Name, a.Instr, a.Field, a.Reg, cfg.RegN)
+		}
+	}
+
+	// Per-block field lists (register numbers, skipping nothing; the
+	// walk below re-derives classes and reserved handling).
+	nb := len(f.Blocks)
+	fields := make([][]int, nb)
+	for _, a := range seq {
+		fields[a.Block.Index] = append(fields[a.Block.Index], a.Reg)
+	}
+
+	// blockOut simulates a block's effect on the last_reg state.
+	blockOut := func(b *ir.Block, in lastState) lastState {
+		out := in.clone()
+		for _, r := range fields[b.Index] {
+			if _, ok := cfg.reservedCode(r); ok {
+				continue // reserved registers do not touch last_reg
+			}
+			out[cfg.classOf(r)] = r
+		}
+		return out
+	}
+
+	// chosen returns the head-set value for a conflicted class in b:
+	// the first register of that class accessed in b, or 0.
+	chosen := func(b *ir.Block, cls int) int {
+		for _, r := range fields[b.Index] {
+			if _, ok := cfg.reservedCode(r); ok {
+				continue
+			}
+			if cfg.classOf(r) == cls {
+				return r
+			}
+		}
+		return 0
+	}
+
+	// Fixpoint for lastIn per block. needsSet[b][cls] records planned
+	// head sets; once planned, the class's in-value is pinned.
+	lastIn := make([]lastState, nb)
+	needsSet := make([]map[int]int, nb) // cls -> pinned value
+	for i := range lastIn {
+		lastIn[i] = lastState{}
+		needsSet[i] = map[int]int{}
+	}
+	entry := f.Entry()
+	lastIn[entry.Index][0] = 0
+	if cfg.ClassOf != nil {
+		// Every class starts at register 0's... each class's last_reg
+		// is its own hardware register, reset to 0.
+		for _, a := range seq {
+			lastIn[entry.Index][cfg.classOf(a.Reg)] = 0
+		}
+	}
+
+	rpo := f.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b != entry {
+				in := lastIn[b.Index]
+				pins := needsSet[b.Index]
+				for _, p := range b.Preds {
+					pout := blockOut(p, lastIn[p.Index])
+					if in.meet(pout, pins) {
+						changed = true
+					}
+				}
+				for cls, v := range in {
+					if v == lConflict {
+						pins[cls] = chosen(b, cls)
+						in[cls] = pins[cls]
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Join-repair placement. A conflicted join can be repaired either
+	// by one set at the block head (executed on every entry) or by a
+	// set at the end of each disagreeing predecessor (the paper's §2.3
+	// alternative: "insert such instruction at the end of one or more
+	// predecessors"). Pick whichever executes less often; predecessor
+	// placement requires the predecessor to have a single successor so
+	// the repair cannot leak onto another path. The canonical win is a
+	// loop header whose back edge already agrees: the repair moves to
+	// the preheader and executes once instead of every iteration.
+	res := &Result{Cfg: cfg}
+	freq := f.BlockFreq()
+	for _, b := range f.Blocks {
+		clss := make([]int, 0, len(needsSet[b.Index]))
+		for cls := range needsSet[b.Index] {
+			clss = append(clss, cls)
+		}
+		sort.Ints(clss)
+		for _, cls := range clss {
+			v := needsSet[b.Index][cls]
+			var disagree []*ir.Block
+			edgeOK := true
+			edgeFreq := 0.0
+			for _, p := range b.Preds {
+				pout := blockOut(p, lastIn[p.Index]).get(cls)
+				if pout < 0 {
+					pout = 0
+				}
+				if pout == v {
+					continue
+				}
+				disagree = append(disagree, p)
+				edgeFreq += freq[p]
+				if len(p.Succs) != 1 || len(p.Instrs) == 0 {
+					edgeOK = false
+				}
+			}
+			if edgeOK && len(disagree) > 0 && edgeFreq < freq[b] {
+				for _, p := range disagree {
+					term := p.Terminator()
+					delay := len(term.RegFields())
+					if delay == 0 {
+						delay = -1
+					}
+					res.Sets = append(res.Sets, SetPoint{
+						Block: p, Before: len(p.Instrs) - 1, Value: v, Delay: delay,
+					})
+					res.JoinSets++
+				}
+			} else {
+				res.Sets = append(res.Sets, SetPoint{Block: b, Before: 0, Value: v, Delay: -1})
+				res.JoinSets++
+			}
+		}
+	}
+
+	// Encoding walk.
+	for _, b := range f.Blocks {
+		cur := lastIn[b.Index].clone()
+		// Resolve untouched/unknown classes to the reset value 0.
+		resolve := func(cls int) int {
+			v := cur.get(cls)
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+		// Conflicted classes enter pinned regardless of where their
+		// repair was placed.
+		for cls, v := range needsSet[b.Index] {
+			cur[cls] = v
+		}
+		for i, in := range b.Instrs {
+			// Per-instruction mode (§9.4): every field diffs against
+			// the class's last_reg as of instruction start (possibly
+			// overridden by a mid-instruction repair set); last_reg
+			// advances to the class's final field afterwards.
+			var base map[int]int
+			if cfg.PerInstruction {
+				base = map[int]int{}
+			}
+			instrLast := map[int]int{}
+			for k, vr := range fieldsOf(in, cfg) {
+				r := regOf(vr)
+				if code, ok := cfg.reservedCode(r); ok {
+					res.Codes = append(res.Codes, code)
+					continue
+				}
+				cls := cfg.classOf(r)
+				prev := resolve(cls)
+				if cfg.PerInstruction {
+					if v, ok := base[cls]; ok {
+						prev = v
+					} else {
+						base[cls] = prev
+					}
+				}
+				d := Diff(prev, r, cfg.RegN)
+				if d >= cfg.DiffN {
+					delay := k
+					if k == 0 {
+						delay = -1
+					}
+					res.Sets = append(res.Sets, SetPoint{Block: b, Before: i, Value: r, Delay: delay})
+					d = 0
+					if cfg.PerInstruction {
+						base[cls] = r
+					}
+				}
+				res.Codes = append(res.Codes, d)
+				if cfg.PerInstruction {
+					instrLast[cls] = r
+				} else {
+					cur[cls] = r
+				}
+			}
+			for cls, r := range instrLast {
+				cur[cls] = r
+			}
+		}
+	}
+	return res, nil
+}
+
+// ApplyToIR inserts the planned set_last_reg instructions into f
+// (mutating it). Insertion proceeds from the back of each block so
+// recorded indices stay valid.
+func (r *Result) ApplyToIR(f *ir.Func) {
+	perBlock := map[*ir.Block][]SetPoint{}
+	for _, s := range r.Sets {
+		perBlock[s.Block] = append(perBlock[s.Block], s)
+	}
+	for b, sets := range perBlock {
+		sort.Slice(sets, func(i, j int) bool { return sets[i].Before > sets[j].Before })
+		for _, s := range sets {
+			b.InsertBefore(s.Before, &ir.Instr{
+				Op:   ir.OpSetLastReg,
+				Imm:  int64(s.Value),
+				Imm2: int64(s.Delay),
+			})
+		}
+	}
+}

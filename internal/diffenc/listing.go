@@ -1,0 +1,86 @@
+package diffenc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"diffra/internal/ir"
+)
+
+// Listing renders a disassembler-style view of an encoded function:
+// each instruction with its machine registers and, in a second column,
+// the differential field codes the decoder will see, with planned
+// set_last_reg insertions shown at their decode positions. Intended
+// for humans inspecting what the encoder did (cmd/diffra -listing).
+func Listing(f *ir.Func, regOf func(ir.Reg) int, cfg Config, res *Result) string {
+	var sb strings.Builder
+
+	// Group sets per (block, before) for display.
+	setsAt := map[*ir.Block]map[int][]SetPoint{}
+	for _, s := range res.Sets {
+		if setsAt[s.Block] == nil {
+			setsAt[s.Block] = map[int][]SetPoint{}
+		}
+		setsAt[s.Block][s.Before] = append(setsAt[s.Block][s.Before], s)
+	}
+	for _, m := range setsAt {
+		for _, ss := range m {
+			sort.SliceStable(ss, func(i, j int) bool { return effK(ss[i]) < effK(ss[j]) })
+		}
+	}
+
+	ci := 0
+	fmt.Fprintf(&sb, "; %s — RegN=%d DiffN=%d (fields: %d bits differential vs %d direct)\n",
+		f.Name, cfg.RegN, cfg.DiffN, cfg.DiffW(), cfg.RegW())
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for i, in := range b.Instrs {
+			for _, s := range setsAt[b][i] {
+				if s.Delay >= 0 {
+					fmt.Fprintf(&sb, "  %-34s ; decoder repair\n", fmt.Sprintf("set_last_reg %d, %d", s.Value, s.Delay))
+				} else {
+					fmt.Fprintf(&sb, "  %-34s ; decoder repair\n", fmt.Sprintf("set_last_reg %d", s.Value))
+				}
+			}
+			flds := fieldsOf(in, cfg)
+			codes := make([]string, len(flds))
+			for k, r := range flds {
+				c := res.Codes[ci]
+				ci++
+				if c >= cfg.DiffN {
+					codes[k] = fmt.Sprintf("R%d=#%d", regOf(r), c)
+				} else {
+					codes[k] = fmt.Sprintf("R%d=+%d", regOf(r), c)
+				}
+			}
+			line := machineString(in, regOf)
+			if len(codes) > 0 {
+				fmt.Fprintf(&sb, "  %-34s ; %s\n", line, strings.Join(codes, " "))
+			} else {
+				fmt.Fprintf(&sb, "  %s\n", line)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// machineString prints an instruction with machine register names.
+// Distinct vregs are rewritten longest-number-first so that v1 never
+// clobbers the prefix of v12.
+func machineString(in *ir.Instr, regOf func(ir.Reg) int) string {
+	s := in.String()
+	seen := map[ir.Reg]bool{}
+	var regs []ir.Reg
+	for _, r := range append(append([]ir.Reg(nil), in.Defs...), in.Uses...) {
+		if !seen[r] {
+			seen[r] = true
+			regs = append(regs, r)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] > regs[j] })
+	for _, r := range regs {
+		s = strings.ReplaceAll(s, fmt.Sprintf("v%d", r), fmt.Sprintf("R%d", regOf(r)))
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+// Package diffsel implements differential select (paper §6): the
+// select stage of a graph-coloring register allocator is modified so
+// that, when several colors are legal for a live range, it picks the
+// one minimizing the differential-encoding cost on the live-range
+// adjacency graph (condition (3) violations, weighted by access
+// frequency).
+//
+// It plugs into the irc allocator through its PickerFactory hook and
+// is also reused by differential coalesce (§7), whose inner coloring
+// loop invokes the same cost-minimizing selection.
+package diffsel
+
+import (
+	"diffra/internal/adjacency"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+)
+
+// Params carries the encoding parameters the cost function needs.
+type Params struct {
+	RegN  int
+	DiffN int
+}
+
+// NewFactory returns an irc.PickerFactory implementing differential
+// select. For every allocation round it rebuilds the adjacency graph
+// over the round's live ranges; when scoring a candidate color for a
+// node it accounts for every live range coalesced into that node.
+func NewFactory(p Params) irc.PickerFactory {
+	return func(f *ir.Func, aliasOf func(int) int) irc.ColorPicker {
+		g := adjacency.BuildVReg(f)
+		n := f.NumRegs()
+		return func(v int, okColors []int, colorOf func(int) int) int {
+			members := membersOf(v, n, aliasOf)
+			bestColor, bestCost := okColors[0], 0.0
+			for i, c := range okColors {
+				cost := candidateCost(g, members, v, c, colorOf, aliasOf, p)
+				if i == 0 || cost < bestCost {
+					bestColor, bestCost = c, cost
+				}
+			}
+			return bestColor
+		}
+	}
+}
+
+// PickCost exposes the scoring used by the picker so that differential
+// coalesce can evaluate colorings with identical logic.
+func PickCost(g *adjacency.Graph, members []int, self, color int, colorOf func(int) int, aliasOf func(int) int, p Params) float64 {
+	return candidateCost(g, members, self, color, colorOf, aliasOf, p)
+}
+
+func membersOf(v, n int, aliasOf func(int) int) []int {
+	var out []int
+	for u := 0; u < n; u++ {
+		if aliasOf(u) == v {
+			out = append(out, u)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{v}
+	}
+	return out
+}
+
+// candidateCost sums the weights of adjacency edges incident to the
+// node's members that would violate condition (3) if the node took the
+// candidate color. Edges to uncolored neighbors are free: their color
+// will be chosen later with this node's choice already visible.
+// Edges between two members cost nothing (difference 0).
+func candidateCost(g *adjacency.Graph, members []int, self, color int, colorOf func(int) int, aliasOf func(int) int, p Params) float64 {
+	memberSet := make(map[int]bool, len(members))
+	for _, m := range members {
+		memberSet[m] = true
+	}
+	inClass := func(u int) bool { return memberSet[u] || aliasOf(u) == self }
+	cost := 0.0
+	g.Edges(func(from, to int, w float64) {
+		fromIn, toIn := inClass(from), inClass(to)
+		switch {
+		case fromIn && toIn:
+			// Both map to the candidate color: difference 0, free.
+		case fromIn:
+			if tc := colorOf(to); tc >= 0 && !adjacency.Satisfied(color, tc, p.RegN, p.DiffN) {
+				cost += w
+			}
+		case toIn:
+			if fc := colorOf(from); fc >= 0 && !adjacency.Satisfied(fc, color, p.RegN, p.DiffN) {
+				cost += w
+			}
+		}
+	})
+	return cost
+}

@@ -1,0 +1,75 @@
+package diffsel
+
+import (
+	"diffra/internal/adjacency"
+	"diffra/internal/ir"
+	"diffra/internal/liveness"
+	"diffra/internal/regalloc"
+)
+
+// Refine runs a local search over an allocated function: each live
+// range in turn is moved to the legal color (no interference-neighbor
+// conflict) of minimal adjacency cost, repeating until a fixpoint.
+// This strictly generalizes the register-level remapping of §5 — it
+// permutes individual live ranges rather than whole register numbers —
+// and composes with any allocator, so the experiments apply it as the
+// post-pass of the select and coalesce schemes (§3 allows stacking the
+// post-pass on approaches 2 and 3). The assignment is updated in
+// place; the function's code is untouched, so coloring validity is
+// preserved by construction and rechecked by the caller's verifier.
+func Refine(f *ir.Func, asn *regalloc.Assignment, p Params) int {
+	return RefineProfile(f, asn, p, nil)
+}
+
+// RefineProfile is Refine with measured block frequencies driving the
+// adjacency edge weights (nil falls back to the static estimate).
+func RefineProfile(f *ir.Func, asn *regalloc.Assignment, p Params, freq map[*ir.Block]float64) int {
+	g := adjacency.BuildVRegProfile(f, freq)
+	info := liveness.Compute(f)
+	ig := regalloc.Build(f, info)
+
+	colorOf := func(v int) int {
+		if v < len(asn.Color) {
+			return asn.Color[v]
+		}
+		return -1
+	}
+	aliasOf := func(v int) int { return v }
+
+	moves := 0
+	for round := 0; round < 8; round++ {
+		improved := false
+		for v := 0; v < f.NumRegs(); v++ {
+			cur := asn.Color[v]
+			if cur < 0 {
+				continue
+			}
+			forbidden := make(map[int]bool)
+			for _, w := range ig.AdjList[v] {
+				if c := colorOf(w); c >= 0 {
+					forbidden[c] = true
+				}
+			}
+			bestC := cur
+			bestCost := PickCost(g, []int{v}, v, cur, colorOf, aliasOf, p)
+			for c := 0; c < p.RegN; c++ {
+				if c == cur || forbidden[c] {
+					continue
+				}
+				cost := PickCost(g, []int{v}, v, c, colorOf, aliasOf, p)
+				if cost < bestCost {
+					bestC, bestCost = c, cost
+				}
+			}
+			if bestC != cur {
+				asn.Color[v] = bestC
+				moves++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}

@@ -1,0 +1,254 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation (§10): the low-end ARM/THUMB-like study
+// (Figures 11–14) over the Mibench-like kernel suite, and the VLIW
+// software-pipelining study (Tables 2–3) over the SPEC-like loop
+// population. See EXPERIMENTS.md for measured-vs-paper values.
+package experiments
+
+import (
+	"fmt"
+
+	"diffra/internal/adjacency"
+	"diffra/internal/diffcoal"
+	"diffra/internal/diffenc"
+	"diffra/internal/diffsel"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/ospill"
+	"diffra/internal/pipeline"
+	"diffra/internal/regalloc"
+	"diffra/internal/remap"
+	"diffra/internal/workloads"
+)
+
+// Scheme names, in the paper's presentation order.
+const (
+	SchemeBaseline = "baseline"  // iterated register coalescing, 8 regs, direct encoding
+	SchemeRemap    = "remapping" // 12 regs + post-pass differential remapping (§5)
+	SchemeSelect   = "select"    // 12 regs + differential select (§6)
+	SchemeOSpill   = "O-spill"   // optimal spilling, 8 regs, direct encoding
+	SchemeCoalesce = "coalesce"  // optimal spilling + differential coalesce, 12 regs (§7)
+)
+
+// Schemes lists all five configurations of Figures 11–14.
+func Schemes() []string {
+	return []string{SchemeBaseline, SchemeRemap, SchemeSelect, SchemeOSpill, SchemeCoalesce}
+}
+
+// LowEndConfig parameterizes the §10.1 experiment.
+type LowEndConfig struct {
+	// BaselineK is the directly encodable register count (8: 3-bit
+	// fields). RegN/DiffN configure differential encoding (12/8).
+	BaselineK, RegN, DiffN int
+	// Restarts bounds the remapping search (paper: 1000).
+	Restarts int
+	// Seed drives the remapping restarts.
+	Seed int64
+}
+
+// DefaultLowEnd returns the paper's configuration.
+func DefaultLowEnd() LowEndConfig {
+	return LowEndConfig{BaselineK: 8, RegN: 12, DiffN: 8, Restarts: 1000, Seed: 1}
+}
+
+// KernelResult is one kernel under one scheme.
+type KernelResult struct {
+	Kernel, Scheme string
+	// Static counts over the final code (set_last_reg included).
+	Instrs, SpillInstrs, SetLastRegs int
+	CodeBytes                        int
+	// Dynamic measurements.
+	Cycles uint64
+	Ret    int64
+}
+
+// SpillPct is spill instructions as a percentage of all code (Fig 11).
+func (r KernelResult) SpillPct() float64 { return pct(r.SpillInstrs, r.Instrs) }
+
+// CostPct is set_last_reg instructions as a percentage of code (Fig 12).
+func (r KernelResult) CostPct() float64 { return pct(r.SetLastRegs, r.Instrs) }
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+// LowEndReport aggregates the experiment.
+type LowEndReport struct {
+	Config  LowEndConfig
+	Results map[string]map[string]KernelResult // scheme -> kernel -> result
+	Kernels []string
+}
+
+// AvgSpillPct averages Figure 11's metric over kernels.
+func (rep *LowEndReport) AvgSpillPct(scheme string) float64 {
+	return rep.avg(scheme, KernelResult.SpillPct)
+}
+
+// AvgCostPct averages Figure 12's metric.
+func (rep *LowEndReport) AvgCostPct(scheme string) float64 {
+	return rep.avg(scheme, KernelResult.CostPct)
+}
+
+// AvgCodeSize averages Figure 13's metric: code size normalized to the
+// baseline.
+func (rep *LowEndReport) AvgCodeSize(scheme string) float64 {
+	sum := 0.0
+	for _, k := range rep.Kernels {
+		base := rep.Results[SchemeBaseline][k].CodeBytes
+		sum += float64(rep.Results[scheme][k].CodeBytes) / float64(base)
+	}
+	return sum / float64(len(rep.Kernels))
+}
+
+// AvgSpeedup averages Figure 14's metric: percentage speedup over the
+// baseline ((base/cycles - 1) * 100).
+func (rep *LowEndReport) AvgSpeedup(scheme string) float64 {
+	sum := 0.0
+	for _, k := range rep.Kernels {
+		base := rep.Results[SchemeBaseline][k].Cycles
+		sum += (float64(base)/float64(rep.Results[scheme][k].Cycles) - 1) * 100
+	}
+	return sum / float64(len(rep.Kernels))
+}
+
+func (rep *LowEndReport) avg(scheme string, f func(KernelResult) float64) float64 {
+	sum := 0.0
+	for _, k := range rep.Kernels {
+		sum += f(rep.Results[scheme][k])
+	}
+	return sum / float64(len(rep.Kernels))
+}
+
+// RunLowEnd executes the full §10.1 experiment: each kernel is
+// compiled under all five schemes, encoded, statically measured and
+// simulated on the low-end pipeline. Every allocation is verified and
+// every differential encoding is checked decodable; every simulated
+// run must return the same value as the virtual-register reference.
+func RunLowEnd(cfg LowEndConfig) (*LowEndReport, error) {
+	rep := &LowEndReport{
+		Config:  cfg,
+		Results: map[string]map[string]KernelResult{},
+	}
+	for _, s := range Schemes() {
+		rep.Results[s] = map[string]KernelResult{}
+	}
+	mach, err := pipeline.New(pipeline.LowEnd())
+	if err != nil {
+		return nil, err
+	}
+
+	for _, k := range workloads.Kernels() {
+		rep.Kernels = append(rep.Kernels, k.Name)
+		want, _, err := mach.Run(k.F, nil, pipeline.RunOptions{Args: k.Args, Mem: k.Mem})
+		if err != nil {
+			return nil, fmt.Errorf("%s reference: %w", k.Name, err)
+		}
+		for _, scheme := range Schemes() {
+			res, err := runKernelScheme(mach, &k, scheme, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", k.Name, scheme, err)
+			}
+			if res.Ret != want {
+				return nil, fmt.Errorf("%s/%s: returned %d, reference %d", k.Name, scheme, res.Ret, want)
+			}
+			rep.Results[scheme][k.Name] = *res
+		}
+	}
+	return rep, nil
+}
+
+// applyRemap runs the §5 post-pass over an allocated function: permute
+// register numbers to minimize the adjacency-graph cost. Permutations
+// preserve coloring validity.
+func applyRemap(out *ir.Func, asn *regalloc.Assignment, cfg LowEndConfig) {
+	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, cfg.RegN)
+	perm := remap.Auto(g, remap.Options{
+		RegN: cfg.RegN, DiffN: cfg.DiffN, Restarts: cfg.Restarts, Seed: cfg.Seed,
+	})
+	for v, c := range asn.Color {
+		if c >= 0 {
+			asn.Color[v] = perm.Perm[c]
+		}
+	}
+}
+
+func runKernelScheme(mach *pipeline.Machine, k *workloads.Kernel, scheme string, cfg LowEndConfig) (*KernelResult, error) {
+	var (
+		out *ir.Func
+		asn *regalloc.Assignment
+		err error
+	)
+	differential := false
+	switch scheme {
+	case SchemeBaseline:
+		out, asn, err = irc.Allocate(k.F, irc.Options{K: cfg.BaselineK})
+	case SchemeRemap:
+		differential = true
+		out, asn, err = irc.Allocate(k.F, irc.Options{K: cfg.RegN})
+		if err == nil {
+			applyRemap(out, asn, cfg)
+		}
+	case SchemeSelect:
+		differential = true
+		out, asn, err = irc.Allocate(k.F, irc.Options{
+			K:             cfg.RegN,
+			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: cfg.RegN, DiffN: cfg.DiffN}),
+		})
+		if err == nil {
+			// §3: "differential remapping can always be invoked after
+			// approach 2 or 3, since ... differential remapping is a
+			// post-pass optimization." The register-level remap
+			// explores joint permutations; the live-range-level refine
+			// then escapes per-range suboptimalities.
+			applyRemap(out, asn, cfg)
+			diffsel.Refine(out, asn, diffsel.Params{RegN: cfg.RegN, DiffN: cfg.DiffN})
+		}
+	case SchemeOSpill:
+		out, asn, _, err = ospill.Allocate(k.F, ospill.Options{K: cfg.BaselineK})
+	case SchemeCoalesce:
+		differential = true
+		out, asn, _, err = diffcoal.Allocate(k.F, diffcoal.Options{RegN: cfg.RegN, DiffN: cfg.DiffN})
+		if err == nil {
+			applyRemap(out, asn, cfg)
+			diffsel.Refine(out, asn, diffsel.Params{RegN: cfg.RegN, DiffN: cfg.DiffN})
+		}
+	default:
+		return nil, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		return nil, err
+	}
+
+	res := &KernelResult{Kernel: k.Name, Scheme: scheme}
+	if differential {
+		dcfg := diffenc.Config{RegN: cfg.RegN, DiffN: cfg.DiffN}
+		regOf := func(r ir.Reg) int { return asn.Color[r] }
+		enc, err := diffenc.Encode(out, regOf, dcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := diffenc.Check(out, regOf, dcfg, enc); err != nil {
+			return nil, err
+		}
+		enc.ApplyToIR(out)
+		res.SetLastRegs = enc.Cost()
+	}
+
+	spills, total := regalloc.SpillStats(out)
+	res.SpillInstrs, res.Instrs = spills, total
+	res.CodeBytes = total * 2 // fixed 16-bit instructions
+
+	ret, st, err := mach.Run(out, asn, pipeline.RunOptions{Args: k.Args, OrigParams: k.F.Params, Mem: k.Mem})
+	if err != nil {
+		return nil, err
+	}
+	res.Cycles = st.Cycles
+	res.Ret = ret
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a minimal fixed-width column writer for experiment output.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) write(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, n := range widths {
+		sep[i] = strings.Repeat("-", n)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// WriteFigure11 prints static spill percentages per kernel and scheme.
+func (rep *LowEndReport) WriteFigure11(w io.Writer) {
+	fmt.Fprintln(w, "Figure 11: static spill instructions (% of code)")
+	t := &table{header: append([]string{"kernel"}, Schemes()...)}
+	for _, k := range rep.Kernels {
+		row := []string{k}
+		for _, s := range Schemes() {
+			row = append(row, f2(rep.Results[s][k].SpillPct()))
+		}
+		t.add(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range Schemes() {
+		avg = append(avg, f2(rep.AvgSpillPct(s)))
+	}
+	t.add(avg...)
+	t.write(w)
+}
+
+// WriteFigure12 prints set_last_reg cost percentages for the three
+// differential schemes.
+func (rep *LowEndReport) WriteFigure12(w io.Writer) {
+	fmt.Fprintln(w, "Figure 12: set_last_reg instructions (% of code)")
+	schemes := []string{SchemeRemap, SchemeSelect, SchemeCoalesce}
+	t := &table{header: append([]string{"kernel"}, schemes...)}
+	for _, k := range rep.Kernels {
+		row := []string{k}
+		for _, s := range schemes {
+			row = append(row, f2(rep.Results[s][k].CostPct()))
+		}
+		t.add(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range schemes {
+		avg = append(avg, f2(rep.AvgCostPct(s)))
+	}
+	t.add(avg...)
+	t.write(w)
+}
+
+// WriteFigure13 prints code size normalized to the baseline.
+func (rep *LowEndReport) WriteFigure13(w io.Writer) {
+	fmt.Fprintln(w, "Figure 13: code size (normalized to baseline)")
+	t := &table{header: append([]string{"kernel"}, Schemes()...)}
+	for _, k := range rep.Kernels {
+		row := []string{k}
+		base := rep.Results[SchemeBaseline][k].CodeBytes
+		for _, s := range Schemes() {
+			row = append(row, f3(float64(rep.Results[s][k].CodeBytes)/float64(base)))
+		}
+		t.add(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range Schemes() {
+		avg = append(avg, f3(rep.AvgCodeSize(s)))
+	}
+	t.add(avg...)
+	t.write(w)
+}
+
+// WriteFigure14 prints simulated speedup over the baseline.
+func (rep *LowEndReport) WriteFigure14(w io.Writer) {
+	fmt.Fprintln(w, "Figure 14: speedup over baseline (%)")
+	schemes := []string{SchemeRemap, SchemeSelect, SchemeOSpill, SchemeCoalesce}
+	t := &table{header: append([]string{"kernel"}, schemes...)}
+	for _, k := range rep.Kernels {
+		row := []string{k}
+		base := rep.Results[SchemeBaseline][k].Cycles
+		for _, s := range schemes {
+			row = append(row, f1((float64(base)/float64(rep.Results[s][k].Cycles)-1)*100))
+		}
+		t.add(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range schemes {
+		avg = append(avg, f1(rep.AvgSpeedup(s)))
+	}
+	t.add(avg...)
+	t.write(w)
+}
+
+// WriteAll prints the four low-end figures.
+func (rep *LowEndReport) WriteAll(w io.Writer) {
+	rep.WriteFigure11(w)
+	fmt.Fprintln(w)
+	rep.WriteFigure12(w)
+	fmt.Fprintln(w)
+	rep.WriteFigure13(w)
+	fmt.Fprintln(w)
+	rep.WriteFigure14(w)
+}
+
+// WriteTable2 prints the software-pipelining speedups.
+func (rep *VLIWReport) WriteTable2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: speedup (%%) — %d loops, %d optimized (%.1f%% of loop cycles)\n",
+		rep.Config.Loops, rep.Optimized, 100*rep.OptimizedCycleShare)
+	t := &table{header: []string{"RegN", "optimized loops", "all loops", "overall"}}
+	for _, r := range rep.Rows {
+		t.add(fmt.Sprint(r.RegN), f2(r.SpeedupOptimized), f2(r.SpeedupAll), f2(r.SpeedupOverall))
+	}
+	t.write(w)
+}
+
+// WriteTable3 prints spills and code growth.
+func (rep *VLIWReport) WriteTable3(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: spills and code growth (baseline spills in optimized loops: %d)\n",
+		rep.BaselineSpills)
+	t := &table{header: []string{"RegN", "spills(opt)", "growth opt (%)", "growth all loops (%)", "growth all code (%)"}}
+	for _, r := range rep.Rows {
+		t.add(fmt.Sprint(r.RegN), fmt.Sprint(r.SpillsOptimized),
+			f2(r.GrowthOptimized), f2(r.GrowthAll), f2(r.GrowthAllCode))
+	}
+	t.write(w)
+}
+
+// WriteAll prints both VLIW tables.
+func (rep *VLIWReport) WriteAll(w io.Writer) {
+	rep.WriteTable2(w)
+	fmt.Fprintln(w)
+	rep.WriteTable3(w)
+}

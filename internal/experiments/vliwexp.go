@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"diffra/internal/modsched"
+	"diffra/internal/vliw"
+	"diffra/internal/workloads"
+)
+
+// VLIWConfig parameterizes the §10.2 experiment.
+type VLIWConfig struct {
+	// Loops is the population size (paper: 1928).
+	Loops int
+	// Seed drives the deterministic loop generator.
+	Seed int64
+	// RegNs are the differential register counts swept (paper:
+	// 40, 48, 56, 64; 32 is the no-differential baseline).
+	RegNs []int
+	// DiffN is fixed at the architected 32 (5-bit fields).
+	DiffN int
+	// Restarts bounds the kernel remapping search per loop.
+	Restarts int
+	// LoopTimeShare is the fraction of total execution time spent in
+	// loops (paper: over 80%); the remainder is unaffected scalar code.
+	LoopTimeShare float64
+	// LoopCodeShare is the fraction of static code occupied by the
+	// studied innermost loops, used to scale code growth to "all code".
+	LoopCodeShare float64
+}
+
+// DefaultVLIW returns the paper's configuration.
+func DefaultVLIW() VLIWConfig {
+	return VLIWConfig{
+		Loops:         workloads.SPECLoopCount,
+		Seed:          42,
+		RegNs:         []int{40, 48, 56, 64},
+		DiffN:         32,
+		Restarts:      40,
+		LoopTimeShare: 0.8,
+		LoopCodeShare: 0.3,
+	}
+}
+
+// VLIWRow is one RegN configuration's aggregate (Tables 2 and 3).
+type VLIWRow struct {
+	RegN int
+	// Speedups in percent over the RegN=32 baseline (Table 2).
+	SpeedupOptimized, SpeedupAll, SpeedupOverall float64
+	// Spills summed over optimized loops (Table 3 column 2).
+	SpillsOptimized int
+	// Code growth percentages (Table 3 columns 3–5).
+	GrowthOptimized, GrowthAll, GrowthAllCode float64
+	// SetLastRegs summed over optimized loops.
+	SetLastRegs int
+}
+
+// VLIWReport is the §10.2 experiment outcome.
+type VLIWReport struct {
+	Config VLIWConfig
+	// BaselineSpills counts spills at RegN=32 over optimized loops.
+	BaselineSpills int
+	// Optimized is the number of loops needing more than 32 registers.
+	Optimized int
+	// OptimizedCycleShare is their share of loop execution time at the
+	// baseline.
+	OptimizedCycleShare float64
+	Rows                []VLIWRow
+}
+
+type loopBaseline struct {
+	loop      *modsched.Loop
+	base      *modsched.Schedule
+	optimized bool // MaxLive at unlimited registers exceeds 32
+	ops       int  // static op count at the baseline schedule
+}
+
+// RunVLIW executes the software-pipelining experiment: every loop is
+// modulo-scheduled at the 32-register baseline and, when its register
+// demand exceeds 32, rescheduled at each differential RegN, counting
+// spills, cycles (II * trip + fill) and set_last_reg instructions (the
+// §8.1 differential-remapping cost, promoted outside the loop so it
+// contributes code growth but not steady-state cycles).
+func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
+	m := vliw.Default()
+	loops := workloads.SPECLoops(cfg.Seed, cfg.Loops)
+	rep := &VLIWReport{Config: cfg}
+
+	// Baseline pass.
+	bases := make([]loopBaseline, len(loops))
+	var totalBaseCycles, optBaseCycles float64
+	for i, l := range loops {
+		free, err := modsched.Compile(l, m, 1<<30)
+		if err != nil {
+			return nil, fmt.Errorf("loop %d (free): %w", i, err)
+		}
+		base, err := modsched.Compile(l, m, m.ArchRegs)
+		if err != nil {
+			return nil, fmt.Errorf("loop %d (base): %w", i, err)
+		}
+		bases[i] = loopBaseline{
+			loop:      l,
+			base:      base,
+			optimized: free.MaxLive > m.ArchRegs,
+			ops:       len(base.Loop.Ops),
+		}
+		c := float64(base.Cycles())
+		totalBaseCycles += c
+		if bases[i].optimized {
+			optBaseCycles += c
+			rep.Optimized++
+			rep.BaselineSpills += base.Spilled
+		}
+	}
+	if totalBaseCycles > 0 {
+		rep.OptimizedCycleShare = optBaseCycles / totalBaseCycles
+	}
+
+	for _, regN := range cfg.RegNs {
+		row := VLIWRow{RegN: regN}
+		var optCycles, allCycles float64
+		var optOps, optBaseOps, allOps, allBaseOps int
+		for i := range bases {
+			b := &bases[i]
+			if !b.optimized {
+				// Differential encoding stays off (§8.2): identical
+				// code and cycles.
+				c := float64(b.base.Cycles())
+				allCycles += c
+				allOps += b.ops
+				allBaseOps += b.ops
+				continue
+			}
+			s, err := modsched.Compile(b.loop, m, regN)
+			if err != nil {
+				return nil, fmt.Errorf("loop %d regN %d: %w", i, regN, err)
+			}
+			row.SpillsOptimized += s.Spilled
+			regs := modsched.KernelRegs(s, regN)
+			sets := modsched.EncodingCost(s, regs, regN, cfg.DiffN, cfg.Restarts, cfg.Seed)
+			row.SetLastRegs += sets
+			c := float64(s.Cycles())
+			optCycles += c
+			allCycles += c
+			ops := len(s.Loop.Ops) + sets
+			optOps += ops
+			optBaseOps += b.ops
+			allOps += ops
+			allBaseOps += b.ops
+		}
+		row.SpeedupOptimized = speedupPct(optBaseCycles, optCycles)
+		row.SpeedupAll = speedupPct(totalBaseCycles, allCycles)
+		// Overall time = loop time / share + fixed scalar remainder.
+		scalar := totalBaseCycles * (1 - cfg.LoopTimeShare) / cfg.LoopTimeShare
+		row.SpeedupOverall = speedupPct(totalBaseCycles+scalar, allCycles+scalar)
+		row.GrowthOptimized = growthPct(optBaseOps, optOps)
+		row.GrowthAll = growthPct(allBaseOps, allOps)
+		// All code: loops are LoopCodeShare of the static binary.
+		totalCode := float64(allBaseOps) / cfg.LoopCodeShare
+		row.GrowthAllCode = 100 * float64(allOps-allBaseOps) / totalCode
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep, nil
+}
+
+func speedupPct(base, now float64) float64 {
+	if now == 0 {
+		return 0
+	}
+	return (base/now - 1) * 100
+}
+
+func growthPct(base, now int) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * float64(now-base) / float64(base)
+}

@@ -1,0 +1,139 @@
+package ir
+
+// Builder provides a convenient fluent API for constructing functions,
+// used by the workload kernels and by tests. It tracks a current block
+// and appends instructions to it.
+type Builder struct {
+	F   *Func
+	cur *Block
+}
+
+// NewBuilder creates a builder with an entry block.
+func NewBuilder(name string) *Builder {
+	f := NewFunc(name)
+	b := &Builder{F: f}
+	b.cur = f.NewBlock("entry")
+	return b
+}
+
+// Param declares a fresh register as an incoming parameter.
+func (b *Builder) Param() Reg {
+	r := b.F.NewReg()
+	b.F.Params = append(b.F.Params, r)
+	return r
+}
+
+// Block creates a new block and makes it current.
+func (b *Builder) Block(name string) *Block {
+	nb := b.F.NewBlock(name)
+	b.cur = nb
+	return nb
+}
+
+// SetBlock switches the current block.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Cur returns the current block.
+func (b *Builder) Cur() *Block { return b.cur }
+
+// Emit appends a raw instruction to the current block.
+func (b *Builder) Emit(in *Instr) *Instr {
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in
+}
+
+// Bin emits dst = src1 op src2 into a fresh register.
+func (b *Builder) Bin(op Op, s1, s2 Reg) Reg {
+	d := b.F.NewReg()
+	b.Emit(&Instr{Op: op, Defs: []Reg{d}, Uses: []Reg{s1, s2}})
+	return d
+}
+
+// BinTo emits dst = src1 op src2 into an existing register.
+func (b *Builder) BinTo(op Op, dst, s1, s2 Reg) {
+	b.Emit(&Instr{Op: op, Defs: []Reg{dst}, Uses: []Reg{s1, s2}})
+}
+
+// Un emits dst = op src into a fresh register.
+func (b *Builder) Un(op Op, s Reg) Reg {
+	d := b.F.NewReg()
+	b.Emit(&Instr{Op: op, Defs: []Reg{d}, Uses: []Reg{s}})
+	return d
+}
+
+// LI emits dst = imm into a fresh register.
+func (b *Builder) LI(imm int64) Reg {
+	d := b.F.NewReg()
+	b.Emit(&Instr{Op: OpLI, Defs: []Reg{d}, Imm: imm})
+	return d
+}
+
+// LITo emits dst = imm into an existing register.
+func (b *Builder) LITo(dst Reg, imm int64) {
+	b.Emit(&Instr{Op: OpLI, Defs: []Reg{dst}, Imm: imm})
+}
+
+// Mov emits dst = src into a fresh register.
+func (b *Builder) Mov(src Reg) Reg {
+	d := b.F.NewReg()
+	b.Emit(&Instr{Op: OpMov, Defs: []Reg{d}, Uses: []Reg{src}})
+	return d
+}
+
+// MovTo emits dst = src.
+func (b *Builder) MovTo(dst, src Reg) {
+	b.Emit(&Instr{Op: OpMov, Defs: []Reg{dst}, Uses: []Reg{src}})
+}
+
+// Load emits dst = mem[base+off] into a fresh register.
+func (b *Builder) Load(base Reg, off int64) Reg {
+	d := b.F.NewReg()
+	b.Emit(&Instr{Op: OpLoad, Defs: []Reg{d}, Uses: []Reg{base}, Imm: off})
+	return d
+}
+
+// LoadTo emits dst = mem[base+off].
+func (b *Builder) LoadTo(dst, base Reg, off int64) {
+	b.Emit(&Instr{Op: OpLoad, Defs: []Reg{dst}, Uses: []Reg{base}, Imm: off})
+}
+
+// Store emits mem[base+off] = val.
+func (b *Builder) Store(val, base Reg, off int64) {
+	b.Emit(&Instr{Op: OpStore, Uses: []Reg{val, base}, Imm: off})
+}
+
+// Br emits a conditional branch on cond != 0 and wires the edges.
+func (b *Builder) Br(cond Reg, then, els *Block) {
+	b.Emit(&Instr{Op: OpBr, Uses: []Reg{cond}})
+	b.F.AddEdge(b.cur, then)
+	b.F.AddEdge(b.cur, els)
+}
+
+// BrCmp emits a fused compare-and-branch (beq/bne/blt/ble).
+func (b *Builder) BrCmp(op Op, s1, s2 Reg, taken, fallthrough_ *Block) {
+	b.Emit(&Instr{Op: op, Uses: []Reg{s1, s2}})
+	b.F.AddEdge(b.cur, taken)
+	b.F.AddEdge(b.cur, fallthrough_)
+}
+
+// Jmp emits an unconditional jump and wires the edge.
+func (b *Builder) Jmp(to *Block) {
+	b.Emit(&Instr{Op: OpJmp})
+	b.F.AddEdge(b.cur, to)
+}
+
+// Ret emits a return of val (pass NoReg for a void return).
+func (b *Builder) Ret(val Reg) {
+	in := &Instr{Op: OpRet}
+	if val != NoReg {
+		in.Uses = []Reg{val}
+	}
+	b.Emit(in)
+}
+
+// Call emits dst = call sym(args...) into a fresh register.
+func (b *Builder) Call(sym string, args ...Reg) Reg {
+	d := b.F.NewReg()
+	b.Emit(&Instr{Op: OpCall, Defs: []Reg{d}, Uses: args, Sym: sym})
+	return d
+}

@@ -1,0 +1,161 @@
+package ir
+
+// ReversePostorder returns the blocks reachable from the entry in
+// reverse postorder of a depth-first search. Allocator dataflow passes
+// iterate in this order for fast convergence.
+func (f *Func) ReversePostorder() []*Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*Block
+	var dfs func(b *Block)
+	dfs = func(b *Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if e := f.Entry(); e != nil {
+		dfs(e)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate dominator of every reachable block
+// using the Cooper–Harvey–Kennedy iterative algorithm. The entry block
+// dominates itself; unreachable blocks map to nil.
+func (f *Func) Dominators() map[*Block]*Block {
+	rpo := f.ReversePostorder()
+	order := make(map[*Block]int, len(rpo))
+	for i, b := range rpo {
+		order[b] = i
+	}
+	idom := make(map[*Block]*Block, len(rpo))
+	entry := f.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for order[a] > order[b] {
+				a = idom[a]
+			}
+			for order[b] > order[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds {
+				if idom[p] == nil {
+					continue // pred not yet processed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the idom map (a block
+// dominates itself).
+func Dominates(idom map[*Block]*Block, a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop is a natural loop: the header plus all blocks that can reach
+// the back-edge source without passing through the header.
+type Loop struct {
+	Header *Block
+	Blocks map[*Block]bool
+}
+
+// NaturalLoops finds the natural loops of the function. A back edge is
+// an edge b->h where h dominates b. Loops sharing a header are merged.
+func (f *Func) NaturalLoops() []*Loop {
+	idom := f.Dominators()
+	byHeader := make(map[*Block]*Loop)
+	var loops []*Loop
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if idom[b] == nil || !Dominates(idom, s, b) {
+				continue
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[*Block]bool{s: true}}
+				byHeader[s] = l
+				loops = append(loops, l)
+			}
+			// Walk predecessors backwards from the back-edge source.
+			stack := []*Block{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				stack = append(stack, x.Preds...)
+			}
+		}
+	}
+	return loops
+}
+
+// LoopDepths returns each block's loop nesting depth (0 outside all
+// loops). Used to weight spill costs and adjacency edge frequencies.
+func (f *Func) LoopDepths() map[*Block]int {
+	depth := make(map[*Block]int, len(f.Blocks))
+	for _, l := range f.NaturalLoops() {
+		for b := range l.Blocks {
+			depth[b]++
+		}
+	}
+	return depth
+}
+
+// BlockFreq estimates a static execution frequency for each block:
+// 10^depth, the classic Chaitin spill-cost weighting. The paper (§4)
+// notes profile frequencies should be reflected in adjacency edge
+// weights; this is the static estimate its evaluation used.
+func (f *Func) BlockFreq() map[*Block]float64 {
+	freq := make(map[*Block]float64, len(f.Blocks))
+	depth := f.LoopDepths()
+	for _, b := range f.Blocks {
+		w := 1.0
+		for i := 0; i < depth[b]; i++ {
+			w *= 10
+		}
+		freq[b] = w
+	}
+	return freq
+}

@@ -1,0 +1,281 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads one function in the textual IR format produced by
+// Func.String. The format, line by line:
+//
+//	func NAME(v0, v1, ...) {
+//	label:
+//	  vD = OP vS1, vS2
+//	  vD = li IMM
+//	  vD = load vBASE, OFF
+//	  store vVAL, vBASE, OFF
+//	  br v1 -> then, else
+//	  beq v1, v2 -> taken, fall
+//	  jmp next
+//	  ret [vR]
+//	  vD = call sym, vA, vB
+//	  set_last_reg IMM[, DELAY]
+//	}
+//
+// Blank lines and ; comments are ignored.
+func Parse(src string) (*Func, error) {
+	p := &parser{lines: strings.Split(src, "\n")}
+	return p.parse()
+}
+
+// MustParse is Parse that panics on error; intended for tests and
+// example programs with literal IR.
+func MustParse(src string) *Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+type parser struct {
+	lines []string
+	ln    int
+}
+
+type pendingEdge struct {
+	from   *Block
+	labels []string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("ir: line %d: %s", p.ln+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parse() (*Func, error) {
+	var f *Func
+	var cur *Block
+	var edges []pendingEdge
+	for ; p.ln < len(p.lines); p.ln++ {
+		line := p.lines[p.ln]
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "func "):
+			if f != nil {
+				return nil, p.errf("nested func")
+			}
+			name, params, err := p.parseHeader(line)
+			if err != nil {
+				return nil, err
+			}
+			f = NewFunc(name)
+			for _, r := range params {
+				f.EnsureRegs(int(r) + 1)
+				f.Params = append(f.Params, r)
+			}
+		case line == "}":
+			if f == nil {
+				return nil, p.errf("} without func")
+			}
+			for _, e := range edges {
+				for _, lbl := range e.labels {
+					t := f.BlockByName(lbl)
+					if t == nil {
+						return nil, p.errf("undefined label %q", lbl)
+					}
+					f.AddEdge(e.from, t)
+				}
+			}
+			return f, f.Verify()
+		case strings.HasSuffix(line, ":"):
+			if f == nil {
+				return nil, p.errf("label outside func")
+			}
+			name := strings.TrimSuffix(line, ":")
+			if f.BlockByName(name) != nil {
+				return nil, p.errf("duplicate label %q", name)
+			}
+			cur = f.NewBlock(name)
+		default:
+			if cur == nil {
+				return nil, p.errf("instruction outside block")
+			}
+			in, labels, err := p.parseInstr(line, f)
+			if err != nil {
+				return nil, err
+			}
+			cur.Instrs = append(cur.Instrs, in)
+			if len(labels) > 0 {
+				edges = append(edges, pendingEdge{from: cur, labels: labels})
+			}
+		}
+	}
+	if f != nil {
+		return nil, p.errf("missing closing }")
+	}
+	return nil, fmt.Errorf("ir: no function found")
+}
+
+func (p *parser) parseHeader(line string) (string, []Reg, error) {
+	rest := strings.TrimPrefix(line, "func ")
+	open := strings.Index(rest, "(")
+	close_ := strings.Index(rest, ")")
+	if open < 0 || close_ < open || !strings.HasSuffix(rest, "{") {
+		return "", nil, p.errf("malformed func header %q", line)
+	}
+	name := strings.TrimSpace(rest[:open])
+	var params []Reg
+	for _, tok := range splitList(rest[open+1 : close_]) {
+		r, err := parseReg(tok)
+		if err != nil {
+			return "", nil, p.errf("%v", err)
+		}
+		params = append(params, r)
+	}
+	return name, params, nil
+}
+
+func (p *parser) parseInstr(line string, f *Func) (*Instr, []string, error) {
+	var labels []string
+	if i := strings.Index(line, "->"); i >= 0 {
+		labels = splitList(line[i+2:])
+		line = strings.TrimSpace(line[:i])
+	}
+	in := &Instr{Imm2: -1}
+	// Optional "vD = " prefix.
+	if i := strings.Index(line, "="); i >= 0 {
+		d, err := parseReg(strings.TrimSpace(line[:i]))
+		if err != nil {
+			return nil, nil, p.errf("%v", err)
+		}
+		f.EnsureRegs(int(d) + 1)
+		in.Defs = []Reg{d}
+		line = strings.TrimSpace(line[i+1:])
+	}
+	var mnemonic, operands string
+	if i := strings.IndexByte(line, ' '); i >= 0 {
+		mnemonic, operands = line[:i], strings.TrimSpace(line[i+1:])
+	} else {
+		mnemonic = line
+	}
+	op, ok := opByName[mnemonic]
+	if !ok {
+		return nil, nil, p.errf("unknown opcode %q", mnemonic)
+	}
+	in.Op = op
+	toks := splitList(operands)
+
+	addUse := func(tok string) error {
+		r, err := parseReg(tok)
+		if err != nil {
+			return err
+		}
+		f.EnsureRegs(int(r) + 1)
+		in.Uses = append(in.Uses, r)
+		return nil
+	}
+	addImm := func(tok string, dst *int64) error {
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", tok)
+		}
+		*dst = v
+		return nil
+	}
+
+	var err error
+	switch op {
+	case OpLI:
+		if len(toks) != 1 {
+			return nil, nil, p.errf("li wants 1 operand")
+		}
+		err = addImm(toks[0], &in.Imm)
+	case OpLoad:
+		if len(toks) != 2 {
+			return nil, nil, p.errf("load wants base, offset")
+		}
+		if err = addUse(toks[0]); err == nil {
+			err = addImm(toks[1], &in.Imm)
+		}
+	case OpStore:
+		if len(toks) != 3 {
+			return nil, nil, p.errf("store wants value, base, offset")
+		}
+		if err = addUse(toks[0]); err == nil {
+			if err = addUse(toks[1]); err == nil {
+				err = addImm(toks[2], &in.Imm)
+			}
+		}
+	case OpSpillLoad:
+		if len(toks) != 1 {
+			return nil, nil, p.errf("spill_load wants a slot")
+		}
+		err = addImm(toks[0], &in.Imm)
+	case OpSpillStore:
+		if len(toks) != 2 {
+			return nil, nil, p.errf("spill_store wants value, slot")
+		}
+		if err = addUse(toks[0]); err == nil {
+			err = addImm(toks[1], &in.Imm)
+		}
+	case OpSetLastReg:
+		if len(toks) != 1 && len(toks) != 2 {
+			return nil, nil, p.errf("set_last_reg wants 1 or 2 operands")
+		}
+		if err = addImm(toks[0], &in.Imm); err == nil && len(toks) == 2 {
+			err = addImm(toks[1], &in.Imm2)
+		}
+	case OpJmp:
+		// Allow both "jmp label" and "jmp -> label".
+		labels = append(labels, toks...)
+	case OpCall:
+		if len(toks) == 0 {
+			return nil, nil, p.errf("call wants a symbol")
+		}
+		in.Sym = toks[0]
+		for _, t := range toks[1:] {
+			if err = addUse(t); err != nil {
+				break
+			}
+		}
+	default:
+		for _, t := range toks {
+			if err = addUse(t); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		return nil, nil, p.errf("%v", err)
+	}
+	return in, labels, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimSpace(t)
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func parseReg(tok string) (Reg, error) {
+	if !strings.HasPrefix(tok, "v") {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return Reg(n), nil
+}

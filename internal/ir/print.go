@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function in the textual IR format accepted by
+// Parse. Branch successors are printed after "->" since edges live on
+// blocks, not instructions.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "v%d", p)
+	}
+	sb.WriteString(") {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			if in.Op.IsTerminator() && len(b.Succs) > 0 {
+				if in.Op == OpJmp {
+					sb.WriteString(" " + b.Succs[0].Name)
+				} else {
+					sb.WriteString(" -> ")
+					for i, s := range b.Succs {
+						if i > 0 {
+							sb.WriteString(", ")
+						}
+						sb.WriteString(s.Name)
+					}
+				}
+			}
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

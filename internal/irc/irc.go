@@ -1,0 +1,555 @@
+// Package irc implements iterated register coalescing (George &
+// Appel, TOPLAS 1996), the graph-coloring register allocator the
+// paper's low-end evaluation uses as its baseline ("we replace gcc's
+// register allocation phase by implementing iterated register
+// allocation [5]").
+//
+// The select stage is pluggable: when several colors are legal for a
+// node, a ColorPicker chooses among them. The default picker takes the
+// lowest-numbered color; the differential select scheme (paper §6)
+// supplies a picker that minimizes the differential-encoding cost on
+// the adjacency graph.
+package irc
+
+import (
+	"fmt"
+	"math"
+
+	"diffra/internal/ir"
+	"diffra/internal/liveness"
+	"diffra/internal/regalloc"
+)
+
+// ColorPicker chooses a color for vreg v among the legal okColors
+// (non-empty, ascending). colorOf reports the already-fixed color of
+// any vreg (alias-resolved), or -1 if that vreg has no color yet.
+type ColorPicker func(v int, okColors []int, colorOf func(int) int) int
+
+// FirstAvailable is the conventional picker: lowest-numbered color.
+func FirstAvailable(_ int, okColors []int, _ func(int) int) int { return okColors[0] }
+
+// PickerFactory builds a ColorPicker for the current (possibly
+// spill-rewritten) function of an allocation round. aliasOf resolves a
+// vreg to its coalescing representative, letting pickers account for
+// merged live ranges on the adjacency graph.
+type PickerFactory func(f *ir.Func, aliasOf func(int) int) ColorPicker
+
+// Options configures the allocator.
+type Options struct {
+	// K is the number of machine registers available for coloring.
+	K int
+	// Picker selects among legal colors (nil: FirstAvailable).
+	Picker ColorPicker
+	// PickerFactory, when set, overrides Picker with a per-round picker
+	// built against the round's rewritten function.
+	PickerFactory PickerFactory
+	// MaxRounds bounds spill-rewrite iterations (0: 32).
+	MaxRounds int
+	// Slots supplies the stack-slot assigner; callers that already
+	// inserted spill code (e.g. the optimal spilling allocator) pass
+	// theirs so slot numbers stay disjoint. Nil: a fresh assigner.
+	Slots *regalloc.SlotAssigner
+	// KeepMoves disables the final removal of same-color moves; used
+	// by tests that inspect the allocator's raw output.
+	KeepMoves bool
+}
+
+// Allocate colors f with opts.K registers, spilling as needed. It
+// returns the rewritten function (a clone of f with spill code and
+// with coalesced moves deleted) and the assignment for every vreg of
+// the returned function.
+func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) {
+	if opts.K < 2 {
+		return nil, nil, fmt.Errorf("irc: need at least 2 registers, have %d", opts.K)
+	}
+	if opts.Picker == nil {
+		opts.Picker = FirstAvailable
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 32
+	}
+
+	work := f.Clone()
+	slots := opts.Slots
+	if slots == nil {
+		slots = regalloc.NewSlotAssigner()
+	}
+	unspillable := make(map[ir.Reg]bool)
+	asn := &regalloc.Assignment{K: opts.K, StackParams: map[ir.Reg]int64{}}
+
+	for round := 0; ; round++ {
+		if round >= maxRounds {
+			return nil, nil, fmt.Errorf("irc: no convergence after %d spill rounds (K=%d)", maxRounds, opts.K)
+		}
+		a := newAllocState(work, opts)
+		if opts.PickerFactory != nil {
+			a.opts.Picker = opts.PickerFactory(work, a.getAlias)
+		}
+		for v := range unspillable {
+			if int(v) < len(a.cost) {
+				a.cost[v] = math.Inf(1)
+			}
+		}
+		spilled := a.run()
+		if len(spilled) == 0 {
+			asn.Color = make([]int, work.NumRegs())
+			for v := range asn.Color {
+				asn.Color[v] = a.color[a.getAlias(v)]
+			}
+			asn.CoalescedMoves += a.numCoalesced
+			if !opts.KeepMoves {
+				substituteAliases(work, a.getAlias)
+			}
+			return work, asn, nil
+		}
+		spillSet := make(map[ir.Reg]bool, len(spilled))
+		for _, v := range spilled {
+			spillSet[ir.Reg(v)] = true
+			asn.SpilledVRegs++
+		}
+		for _, p := range work.Params {
+			if spillSet[p] {
+				asn.StackParams[p] = slots.SlotOf(p)
+			}
+		}
+		origin, inserted := regalloc.RewriteSpills(work, spillSet, slots)
+		asn.SpillInstrs += inserted
+		for tmp := range origin {
+			unspillable[tmp] = true
+		}
+	}
+}
+
+// substituteAliases rewrites every operand to its coalescing
+// representative and deletes the moves made redundant by coalescing
+// (those whose source and destination now name the same vreg). The
+// resulting function is still consistent at the vreg level, so the
+// allocation verifier and downstream passes can recompute liveness.
+func substituteAliases(f *ir.Func, alias func(int) int) {
+	for _, b := range f.Blocks {
+		out := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			for i, u := range in.Uses {
+				in.Uses[i] = ir.Reg(alias(int(u)))
+			}
+			for i, d := range in.Defs {
+				in.Defs[i] = ir.Reg(alias(int(d)))
+			}
+			if in.IsMove() && in.Defs[0] == in.Uses[0] {
+				continue
+			}
+			out = append(out, in)
+		}
+		b.Instrs = out
+	}
+	for i, p := range f.Params {
+		f.Params[i] = ir.Reg(alias(int(p)))
+	}
+}
+
+// Node/move worklist states.
+type nodeState uint8
+
+const (
+	nsInitial nodeState = iota
+	nsSimplify
+	nsFreeze
+	nsSpill
+	nsSpilled
+	nsCoalesced
+	nsColored
+	nsStack
+)
+
+type moveState uint8
+
+const (
+	mvWorklist moveState = iota
+	mvActive
+	mvCoalesced
+	mvConstrained
+	mvFrozen
+)
+
+type allocState struct {
+	f    *ir.Func
+	opts Options
+	k    int
+	n    int
+
+	adjSet   []map[int]bool
+	adjList  [][]int
+	degree   []int
+	state    []nodeState
+	alias    []int
+	color    []int
+	cost     []float64
+	moveList [][]int
+
+	moves  []*ir.Instr
+	mstate []moveState
+
+	simplifyWL map[int]bool
+	freezeWL   map[int]bool
+	spillWL    map[int]bool
+	stack      []int
+
+	numCoalesced int
+}
+
+func newAllocState(f *ir.Func, opts Options) *allocState {
+	n := f.NumRegs()
+	a := &allocState{
+		f:          f,
+		opts:       opts,
+		k:          opts.K,
+		n:          n,
+		adjSet:     make([]map[int]bool, n),
+		adjList:    make([][]int, n),
+		degree:     make([]int, n),
+		state:      make([]nodeState, n),
+		alias:      make([]int, n),
+		color:      make([]int, n),
+		moveList:   make([][]int, n),
+		simplifyWL: make(map[int]bool),
+		freezeWL:   make(map[int]bool),
+		spillWL:    make(map[int]bool),
+	}
+	for i := 0; i < n; i++ {
+		a.adjSet[i] = make(map[int]bool)
+		a.alias[i] = i
+		a.color[i] = -1
+	}
+	a.cost = liveness.SpillCosts(f)
+	a.build()
+	return a
+}
+
+// build constructs interference edges and move lists from liveness.
+func (a *allocState) build() {
+	info := liveness.Compute(a.f)
+	g := regalloc.Build(a.f, info)
+	for u := 0; u < g.N; u++ {
+		for _, v := range g.AdjList[u] {
+			if v > u {
+				a.addEdge(u, v)
+			}
+		}
+	}
+	for _, mv := range g.Moves {
+		idx := len(a.moves)
+		a.moves = append(a.moves, mv)
+		a.mstate = append(a.mstate, mvWorklist)
+		a.moveList[mv.Defs[0]] = append(a.moveList[mv.Defs[0]], idx)
+		if mv.Uses[0] != mv.Defs[0] {
+			a.moveList[mv.Uses[0]] = append(a.moveList[mv.Uses[0]], idx)
+		}
+	}
+}
+
+func (a *allocState) addEdge(u, v int) {
+	if u == v || a.adjSet[u][v] {
+		return
+	}
+	a.adjSet[u][v] = true
+	a.adjSet[v][u] = true
+	a.adjList[u] = append(a.adjList[u], v)
+	a.adjList[v] = append(a.adjList[v], u)
+	a.degree[u]++
+	a.degree[v]++
+}
+
+// run executes the IRC main loop and returns spilled node ids (empty
+// on success); on success a.color holds a coloring for all root nodes.
+func (a *allocState) run() []int {
+	a.makeWorklist()
+	for {
+		switch {
+		case len(a.simplifyWL) > 0:
+			a.simplify()
+		case a.haveWorklistMoves():
+			a.coalesce()
+		case len(a.freezeWL) > 0:
+			a.freeze()
+		case len(a.spillWL) > 0:
+			a.selectSpill()
+		default:
+			return a.assignColors()
+		}
+	}
+}
+
+func (a *allocState) makeWorklist() {
+	for v := 0; v < a.n; v++ {
+		switch {
+		case a.degree[v] >= a.k:
+			a.state[v] = nsSpill
+			a.spillWL[v] = true
+		case a.moveRelated(v):
+			a.state[v] = nsFreeze
+			a.freezeWL[v] = true
+		default:
+			a.state[v] = nsSimplify
+			a.simplifyWL[v] = true
+		}
+	}
+}
+
+func (a *allocState) nodeMoves(v int) []int {
+	var out []int
+	for _, m := range a.moveList[v] {
+		if a.mstate[m] == mvActive || a.mstate[m] == mvWorklist {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func (a *allocState) moveRelated(v int) bool { return len(a.nodeMoves(v)) > 0 }
+
+func (a *allocState) haveWorklistMoves() bool {
+	for _, s := range a.mstate {
+		if s == mvWorklist {
+			return true
+		}
+	}
+	return false
+}
+
+// adjacent yields current neighbors: adjList minus stack/coalesced.
+func (a *allocState) adjacent(v int, fn func(int)) {
+	for _, w := range a.adjList[v] {
+		if a.state[w] != nsStack && a.state[w] != nsCoalesced {
+			fn(w)
+		}
+	}
+}
+
+// minKey returns the smallest node id in a worklist, keeping the
+// allocator fully deterministic despite map-based worklists.
+func minKey(m map[int]bool) int {
+	best := -1
+	for v := range m {
+		if best < 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func (a *allocState) simplify() {
+	v := minKey(a.simplifyWL)
+	delete(a.simplifyWL, v)
+	a.state[v] = nsStack
+	a.stack = append(a.stack, v)
+	a.adjacent(v, a.decrementDegree)
+}
+
+func (a *allocState) decrementDegree(w int) {
+	d := a.degree[w]
+	a.degree[w] = d - 1
+	if d == a.k {
+		// w just became low-degree: enable its moves and its neighbors'.
+		a.enableMoves(w)
+		a.adjacent(w, a.enableMoves)
+		if a.state[w] == nsSpill {
+			delete(a.spillWL, w)
+			if a.moveRelated(w) {
+				a.state[w] = nsFreeze
+				a.freezeWL[w] = true
+			} else {
+				a.state[w] = nsSimplify
+				a.simplifyWL[w] = true
+			}
+		}
+	}
+}
+
+func (a *allocState) enableMoves(v int) {
+	for _, m := range a.moveList[v] {
+		if a.mstate[m] == mvActive {
+			a.mstate[m] = mvWorklist
+		}
+	}
+}
+
+func (a *allocState) getAlias(v int) int {
+	for a.state[v] == nsCoalesced {
+		v = a.alias[v]
+	}
+	return v
+}
+
+func (a *allocState) addWorkList(v int) {
+	if !a.moveRelated(v) && a.degree[v] < a.k {
+		delete(a.freezeWL, v)
+		a.state[v] = nsSimplify
+		a.simplifyWL[v] = true
+	}
+}
+
+// conservative is the Briggs test: coalescing is safe if the combined
+// node has fewer than K neighbors of significant degree.
+func (a *allocState) conservative(u, v int) bool {
+	seen := make(map[int]bool)
+	cnt := 0
+	count := func(w int) {
+		if seen[w] {
+			return
+		}
+		seen[w] = true
+		d := a.degree[w]
+		if a.adjSet[u][w] && a.adjSet[v][w] {
+			d-- // shared neighbor loses one edge after the merge
+		}
+		if d >= a.k {
+			cnt++
+		}
+	}
+	a.adjacent(u, count)
+	a.adjacent(v, count)
+	return cnt < a.k
+}
+
+func (a *allocState) coalesce() {
+	var m = -1
+	for i, s := range a.mstate {
+		if s == mvWorklist {
+			m = i
+			break
+		}
+	}
+	if m < 0 {
+		return
+	}
+	mv := a.moves[m]
+	x := a.getAlias(int(mv.Defs[0]))
+	y := a.getAlias(int(mv.Uses[0]))
+	u, v := x, y
+	switch {
+	case u == v:
+		a.mstate[m] = mvCoalesced
+		a.numCoalesced++
+		a.addWorkList(u)
+	case a.adjSet[u][v]:
+		a.mstate[m] = mvConstrained
+		a.addWorkList(u)
+		a.addWorkList(v)
+	case a.conservative(u, v):
+		a.mstate[m] = mvCoalesced
+		a.numCoalesced++
+		a.combine(u, v)
+		a.addWorkList(u)
+	default:
+		a.mstate[m] = mvActive
+	}
+}
+
+func (a *allocState) combine(u, v int) {
+	if a.freezeWL[v] {
+		delete(a.freezeWL, v)
+	} else {
+		delete(a.spillWL, v)
+	}
+	a.state[v] = nsCoalesced
+	a.alias[v] = u
+	a.moveList[u] = append(a.moveList[u], a.moveList[v]...)
+	a.enableMoves(v)
+	a.cost[u] += a.cost[v]
+	a.adjacent(v, func(t int) {
+		a.addEdge(t, u)
+		a.decrementDegree(t)
+	})
+	if a.degree[u] >= a.k && a.freezeWL[u] {
+		delete(a.freezeWL, u)
+		a.state[u] = nsSpill
+		a.spillWL[u] = true
+	}
+}
+
+func (a *allocState) freeze() {
+	v := minKey(a.freezeWL)
+	delete(a.freezeWL, v)
+	a.state[v] = nsSimplify
+	a.simplifyWL[v] = true
+	a.freezeMoves(v)
+}
+
+func (a *allocState) freezeMoves(u int) {
+	for _, m := range a.nodeMoves(u) {
+		mv := a.moves[m]
+		x := a.getAlias(int(mv.Defs[0]))
+		y := a.getAlias(int(mv.Uses[0]))
+		var w int
+		if y == a.getAlias(u) {
+			w = x
+		} else {
+			w = y
+		}
+		a.mstate[m] = mvFrozen
+		if len(a.nodeMoves(w)) == 0 && a.degree[w] < a.k && a.state[w] == nsFreeze {
+			delete(a.freezeWL, w)
+			a.state[w] = nsSimplify
+			a.simplifyWL[w] = true
+		}
+	}
+}
+
+// selectSpill picks the spill-worklist node with minimal cost/degree,
+// the classic heuristic; spill temporaries carry infinite cost.
+func (a *allocState) selectSpill() {
+	best, bestScore := -1, math.Inf(1)
+	for v := range a.spillWL {
+		score := a.cost[v] / float64(a.degree[v]+1)
+		if score < bestScore || (score == bestScore && (best == -1 || v < best)) {
+			best, bestScore = v, score
+		}
+	}
+	delete(a.spillWL, best)
+	a.state[best] = nsSimplify
+	a.simplifyWL[best] = true
+	a.freezeMoves(best)
+}
+
+// assignColors pops the select stack, computing legal colors per node
+// and delegating the choice to the configured picker.
+func (a *allocState) assignColors() []int {
+	var spilled []int
+	colorOf := func(v int) int { return a.color[a.getAlias(v)] }
+	for len(a.stack) > 0 {
+		v := a.stack[len(a.stack)-1]
+		a.stack = a.stack[:len(a.stack)-1]
+		forbidden := make(map[int]bool)
+		for _, w := range a.adjList[v] {
+			wr := a.getAlias(w)
+			if a.state[wr] == nsColored {
+				forbidden[a.color[wr]] = true
+			}
+		}
+		var ok []int
+		for c := 0; c < a.k; c++ {
+			if !forbidden[c] {
+				ok = append(ok, c)
+			}
+		}
+		if len(ok) == 0 {
+			a.state[v] = nsSpilled
+			spilled = append(spilled, v)
+			continue
+		}
+		a.state[v] = nsColored
+		a.color[v] = a.opts.Picker(v, ok, colorOf)
+	}
+	if len(spilled) > 0 {
+		return spilled
+	}
+	for v := 0; v < a.n; v++ {
+		if a.state[v] == nsCoalesced {
+			// Note: the node keeps nsCoalesced so getAlias stays valid
+			// for the caller's alias substitution.
+			a.color[v] = a.color[a.getAlias(v)]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Package liveness computes live-variable information for the IR:
+// per-block live-in/live-out sets by iterative backward dataflow, and
+// spill-cost weights (definition/use counts weighted by loop depth).
+// Every register allocator in this repository starts from this
+// analysis.
+package liveness
+
+import (
+	"diffra/internal/bitset"
+	"diffra/internal/ir"
+)
+
+// Info holds the results of liveness analysis for one function.
+type Info struct {
+	F *ir.Func
+	// LiveIn[b] / LiveOut[b] index by ir.Block.Index.
+	LiveIn  []*bitset.Set
+	LiveOut []*bitset.Set
+	// UEVar and VarKill per block (upward-exposed uses, kills).
+	uevar []*bitset.Set
+	kill  []*bitset.Set
+}
+
+// Compute runs the analysis.
+func Compute(f *ir.Func) *Info {
+	n := len(f.Blocks)
+	info := &Info{
+		F:       f,
+		LiveIn:  make([]*bitset.Set, n),
+		LiveOut: make([]*bitset.Set, n),
+		uevar:   make([]*bitset.Set, n),
+		kill:    make([]*bitset.Set, n),
+	}
+	nr := f.NumRegs()
+	for i := range f.Blocks {
+		info.LiveIn[i] = bitset.New(nr)
+		info.LiveOut[i] = bitset.New(nr)
+		info.uevar[i] = bitset.New(nr)
+		info.kill[i] = bitset.New(nr)
+	}
+
+	// Local sets: a use is upward-exposed if not killed earlier in the
+	// block; defs kill.
+	for _, b := range f.Blocks {
+		ue, kl := info.uevar[b.Index], info.kill[b.Index]
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if !kl.Has(int(u)) {
+					ue.Add(int(u))
+				}
+			}
+			for _, d := range in.Defs {
+				kl.Add(int(d))
+			}
+		}
+	}
+
+	// Backward fixpoint over postorder (reverse of RPO).
+	rpo := f.ReversePostorder()
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := info.LiveOut[b.Index]
+			for _, s := range b.Succs {
+				if out.UnionWith(info.LiveIn[s.Index]) {
+					changed = true
+				}
+			}
+			newIn := out.Copy()
+			newIn.DiffWith(info.kill[b.Index])
+			newIn.UnionWith(info.uevar[b.Index])
+			if !newIn.Equal(info.LiveIn[b.Index]) {
+				info.LiveIn[b.Index] = newIn
+				changed = true
+			}
+		}
+	}
+	return info
+}
+
+// LiveAcross walks block b backwards and calls visit for each
+// instruction with the set of registers live immediately *after* it.
+// The set is reused between calls; visit must not retain it.
+func (info *Info) LiveAcross(b *ir.Block, visit func(idx int, in *ir.Instr, liveAfter *bitset.Set)) {
+	live := info.LiveOut[b.Index].Copy()
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		visit(i, in, live)
+		for _, d := range in.Defs {
+			live.Remove(int(d))
+		}
+		for _, u := range in.Uses {
+			live.Add(int(u))
+		}
+	}
+}
+
+// MaxPressure returns the maximum number of simultaneously live
+// registers at any program point (measured after each instruction and
+// at block entry).
+func (info *Info) MaxPressure() int {
+	max := 0
+	for _, b := range info.F.Blocks {
+		if n := info.LiveIn[b.Index].Len(); n > max {
+			max = n
+		}
+		info.LiveAcross(b, func(_ int, _ *ir.Instr, live *bitset.Set) {
+			if n := live.Len(); n > max {
+				max = n
+			}
+		})
+	}
+	return max
+}
+
+// SpillCosts returns, for every virtual register, the classic Chaitin
+// spill cost estimate: sum over occurrences of 10^loopdepth. Spilling
+// a register inserts a load per use and a store per def, so cost is
+// proportional to weighted occurrence count.
+func SpillCosts(f *ir.Func) []float64 {
+	costs := make([]float64, f.NumRegs())
+	freq := f.BlockFreq()
+	for _, b := range f.Blocks {
+		w := freq[b]
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				costs[u] += w
+			}
+			for _, d := range in.Defs {
+				costs[d] += w
+			}
+		}
+	}
+	return costs
+}
+
+// Occurrences returns each register's static occurrence count (uses
+// plus defs): the number of spill instructions its spilling inserts.
+// The optimal spilling allocator minimizes this with the weighted cost
+// as tiebreak.
+func Occurrences(f *ir.Func) []float64 {
+	counts := make([]float64, f.NumRegs())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				counts[u]++
+			}
+			for _, d := range in.Defs {
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,430 @@
+// Package modsched implements iterative modulo scheduling for
+// innermost loops on the VLIW machine, following the flow of the
+// paper's Figure 10 and the algorithm family of Rau and of Zalamea et
+// al. (the paper's [21]): compute the minimum initiation interval
+// (resource- and recurrence-constrained), schedule the loop body into
+// a modulo reservation table, measure register pressure (MaxLive with
+// modulo-variable-expansion multiplicity), and — when the pressure
+// exceeds the architected registers — insert spill code and
+// reschedule, trading memory-port bandwidth for registers.
+//
+// This is the substrate of the §10.2 experiments: differential
+// encoding raises the number of addressable registers (RegN 40–64 with
+// DiffN=32), cutting spills and thus the initiation interval of
+// high-pressure loops.
+package modsched
+
+import (
+	"fmt"
+
+	"diffra/internal/vliw"
+)
+
+// Dep is a data dependence between loop operations. Distance is the
+// iteration distance (0 for intra-iteration dependences).
+type Dep struct {
+	From     int
+	Distance int
+}
+
+// Op is one operation of the loop body. Operations produce one value
+// each (stores produce none); Deps lists value inputs.
+type Op struct {
+	Kind vliw.OpKind
+	Deps []Dep
+}
+
+// Loop is an innermost loop body with a trip count for cycle
+// estimation.
+type Loop struct {
+	Ops  []Op
+	Trip int
+}
+
+// Validate checks dependence indices and that the intra-iteration
+// (distance-0) dependence subgraph is acyclic; cycles must carry at
+// least one loop-carried edge.
+func (l *Loop) Validate() error {
+	for i, op := range l.Ops {
+		for _, d := range op.Deps {
+			if d.From < 0 || d.From >= len(l.Ops) {
+				return fmt.Errorf("modsched: op %d dep on %d out of range", i, d.From)
+			}
+			if d.Distance < 0 {
+				return fmt.Errorf("modsched: op %d negative distance", i)
+			}
+		}
+	}
+	// Acyclicity of distance-0 edges by DFS coloring.
+	state := make([]uint8, len(l.Ops)) // 0 unseen, 1 active, 2 done
+	var visit func(i int) error
+	visit = func(i int) error {
+		state[i] = 1
+		for _, d := range l.Ops[i].Deps {
+			if d.Distance != 0 {
+				continue
+			}
+			switch state[d.From] {
+			case 1:
+				return fmt.Errorf("modsched: intra-iteration dependence cycle through op %d", i)
+			case 0:
+				if err := visit(d.From); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = 2
+		return nil
+	}
+	for i := range l.Ops {
+		if state[i] == 0 {
+			if err := visit(i); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Schedule is a modulo schedule of a loop.
+type Schedule struct {
+	Loop    *Loop
+	Machine vliw.Machine
+	II      int
+	// Time[i] is op i's issue cycle within the flat schedule.
+	Time []int
+	// MaxLive is the register pressure with MVE multiplicity.
+	MaxLive int
+	// Spilled counts values spilled (each adds a store plus loads).
+	Spilled int
+	// SpillOps counts spill operations added to the loop body.
+	SpillOps int
+}
+
+// ResMII is the resource-constrained lower bound on II.
+func ResMII(l *Loop, m vliw.Machine) int {
+	var count [2]int
+	for _, op := range l.Ops {
+		count[vliw.ClassOf(op.Kind)]++
+	}
+	mii := 1
+	for c, n := range count {
+		slots := m.SlotsOf(vliw.Class(c))
+		if slots == 0 {
+			continue
+		}
+		if v := (n + slots - 1) / slots; v > mii {
+			mii = v
+		}
+	}
+	return mii
+}
+
+// RecMII is the recurrence-constrained lower bound: the smallest II
+// such that no dependence cycle has positive slack, found by testing
+// feasibility (no positive cycle of latency - II*distance) with
+// Bellman-Ford.
+func RecMII(l *Loop, m vliw.Machine) int {
+	lo, hi := 1, 1
+	for _, op := range l.Ops {
+		hi += m.Latency(op.Kind)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if recFeasible(l, m, mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// recFeasible reports whether II admits no positive-weight dependence
+// cycle, where edge from->to weighs latency(from) - II*distance.
+func recFeasible(l *Loop, m vliw.Machine, ii int) bool {
+	n := len(l.Ops)
+	dist := make([]int, n) // longest-path potentials
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for to, op := range l.Ops {
+			for _, d := range op.Deps {
+				w := m.Latency(l.Ops[d.From].Kind) - ii*d.Distance
+				if dist[d.From]+w > dist[to] {
+					dist[to] = dist[d.From] + w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false // still relaxing after n iterations: positive cycle
+}
+
+// MII is the overall lower bound.
+func MII(l *Loop, m vliw.Machine) int {
+	r := ResMII(l, m)
+	if rec := RecMII(l, m); rec > r {
+		return rec
+	}
+	return r
+}
+
+// scheduleAtII attempts a modulo schedule at the given II with a
+// single height-ordered pass (no backtracking); it returns nil when
+// the pass fails, in which case the caller retries with a larger II.
+func scheduleAtII(l *Loop, m vliw.Machine, ii int) []int {
+	n := len(l.Ops)
+	// Height priority: longest intra-iteration path to any leaf,
+	// computed by fixpoint (the distance-0 subgraph is acyclic but not
+	// necessarily index-ordered after spill insertion).
+	height := make([]int, n)
+	for changed := true; changed; {
+		changed = false
+		for to := range l.Ops {
+			for _, d := range l.Ops[to].Deps {
+				if d.Distance != 0 {
+					continue
+				}
+				if h := height[to] + m.Latency(l.Ops[d.From].Kind); h > height[d.From] {
+					height[d.From] = h
+					changed = true
+				}
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by descending height, stable by index.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && (height[order[j]] > height[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	time := make([]int, n)
+	placed := make([]bool, n)
+	table := make(map[int][2]int) // cycle mod II -> used slots per class
+
+	for _, op := range order {
+		// Earliest start from already-placed predecessors/successors.
+		est := 0
+		for _, d := range l.Ops[op].Deps {
+			if placed[d.From] {
+				t := time[d.From] + m.Latency(l.Ops[d.From].Kind) - ii*d.Distance
+				if t > est {
+					est = t
+				}
+			}
+		}
+		// Constraints from already-placed consumers of op.
+		lst := est + ii - 1
+		ub := 1 << 30
+		for to, o2 := range l.Ops {
+			if !placed[to] {
+				continue
+			}
+			for _, d := range o2.Deps {
+				if d.From == op {
+					t := time[to] - m.Latency(l.Ops[op].Kind) + ii*d.Distance
+					if t < ub {
+						ub = t
+					}
+				}
+			}
+		}
+		if ub < lst {
+			lst = ub
+		}
+		cls := vliw.ClassOf(l.Ops[op].Kind)
+		ok := false
+		for t := est; t <= lst; t++ {
+			slot := ((t % ii) + ii) % ii
+			used := table[slot]
+			if used[cls] < m.SlotsOf(cls) {
+				used[cls]++
+				table[slot] = used
+				time[op] = t
+				placed[op] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return time
+}
+
+// computeMaxLive measures register pressure of a schedule: each value
+// lives from its definition to its furthest use (accounting iteration
+// distance), and a lifetime longer than II needs
+// ceil(lifetime/II) simultaneous copies (modulo variable expansion,
+// the paper's [9]).
+func computeMaxLive(l *Loop, m vliw.Machine, time []int, ii int) int {
+	if ii <= 0 {
+		return 0
+	}
+	pressure := make([]int, ii)
+	for def, op := range l.Ops {
+		if op.Kind == vliw.KindStore {
+			continue // stores produce no value
+		}
+		start := time[def]
+		end := start + 1 // a value with no uses lives one cycle
+		for to, o2 := range l.Ops {
+			for _, d := range o2.Deps {
+				if d.From == def {
+					if t := time[to] + ii*d.Distance; t > end {
+						end = t
+					}
+				}
+			}
+		}
+		for t := start; t < end; t++ {
+			pressure[((t%ii)+ii)%ii]++
+		}
+	}
+	max := 0
+	for _, p := range pressure {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// Compile modulo-schedules the loop for a machine exposing regN
+// architected registers, spilling values (longest lifetime first, the
+// Zalamea-style heuristic) and rescheduling until MaxLive fits. The
+// paper's flow in Figure 10.
+func Compile(l *Loop, m vliw.Machine, regN int) (*Schedule, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	// Deep copy: spill rewriting edits Deps in place and must never
+	// touch the caller's loop.
+	work := &Loop{Ops: make([]Op, len(l.Ops)), Trip: l.Trip}
+	for i, op := range l.Ops {
+		work.Ops[i] = Op{Kind: op.Kind, Deps: append([]Dep(nil), op.Deps...)}
+	}
+	spilled := 0
+	spillOps := 0
+	spilledSet := map[int]bool{}
+	for round := 0; round <= len(l.Ops)+4; round++ {
+		time, ii, err := scheduleLoop(work, m)
+		if err != nil {
+			return nil, err
+		}
+		maxLive := computeMaxLive(work, m, time, ii)
+		done := maxLive <= regN
+		added := 0
+		if !done {
+			added = spillOne(work, time, ii, spilledSet)
+		}
+		if done || added == 0 {
+			return &Schedule{
+				Loop:     work,
+				Machine:  m,
+				II:       ii,
+				Time:     time,
+				MaxLive:  maxLive,
+				Spilled:  spilled,
+				SpillOps: spillOps,
+			}, nil
+		}
+		spilled++
+		spillOps += added
+	}
+	return nil, fmt.Errorf("modsched: spill loop did not converge")
+}
+
+// scheduleLoop searches upward from MII for a feasible II.
+func scheduleLoop(l *Loop, m vliw.Machine) ([]int, int, error) {
+	mii := MII(l, m)
+	cap := mii + len(l.Ops)*8 + 16
+	for ii := mii; ii <= cap; ii++ {
+		if time := scheduleAtII(l, m, ii); time != nil {
+			return time, ii, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("modsched: no feasible II up to %d", cap)
+}
+
+// spillOne rewrites the longest-lifetime unspilled value to memory: a
+// store after its definition and a load before each use. It returns
+// the number of operations added, 0 if nothing is spillable (every
+// remaining value is a memory op or has minimal lifetime).
+func spillOne(l *Loop, time []int, ii int, spilledSet map[int]bool) int {
+	// Find the unspilled value with the longest lifetime.
+	best, bestLife := -1, 1
+	for def, op := range l.Ops {
+		if op.Kind == vliw.KindStore || op.Kind == vliw.KindLoad {
+			continue // avoid respilling memory ops (spill temps included)
+		}
+		if spilledSet[def] {
+			continue
+		}
+		start := time[def]
+		end := start
+		uses := 0
+		for to, o2 := range l.Ops {
+			for _, d := range o2.Deps {
+				if d.From == def {
+					uses++
+					if t := time[to] + ii*d.Distance; t > end {
+						end = t
+					}
+				}
+			}
+		}
+		if uses == 0 {
+			continue
+		}
+		if life := end - start; life > bestLife {
+			best, bestLife = def, life
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	spilledSet[best] = true
+
+	// Rewrite: a store right after the definition ends the value's
+	// register lifetime; each consumer reloads through a load that
+	// depends on the store (a memory dependence carrying the original
+	// iteration distance).
+	storeIdx := len(l.Ops)
+	origLen := len(l.Ops)
+	l.Ops = append(l.Ops, Op{Kind: vliw.KindStore, Deps: []Dep{{From: best, Distance: 0}}})
+	added := 1
+	for to := 0; to < origLen; to++ {
+		for di, d := range l.Ops[to].Deps {
+			if d.From != best {
+				continue
+			}
+			loadIdx := len(l.Ops)
+			l.Ops = append(l.Ops, Op{Kind: vliw.KindLoad, Deps: []Dep{{From: storeIdx, Distance: d.Distance}}})
+			l.Ops[to].Deps[di] = Dep{From: loadIdx, Distance: 0}
+			added++
+		}
+	}
+	return added
+}
+
+// Cycles estimates the loop's execution time: II cycles per iteration
+// plus a pipeline fill of one schedule length.
+func (s *Schedule) Cycles() int {
+	length := 0
+	for i, t := range s.Time {
+		if end := t + s.Machine.Latency(s.Loop.Ops[i].Kind); end > length {
+			length = end
+		}
+	}
+	return s.II*s.Loop.Trip + length
+}

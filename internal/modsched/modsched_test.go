@@ -1,0 +1,299 @@
+package modsched
+
+import (
+	"math/rand"
+	"testing"
+
+	"diffra/internal/vliw"
+)
+
+// chainLoop builds a dependence chain of n adds with an optional
+// loop-carried recurrence back to op 0.
+func chainLoop(n int, carried bool) *Loop {
+	l := &Loop{Trip: 100}
+	for i := 0; i < n; i++ {
+		op := Op{Kind: vliw.KindAdd}
+		if i > 0 {
+			op.Deps = append(op.Deps, Dep{From: i - 1})
+		}
+		l.Ops = append(l.Ops, op)
+	}
+	if carried && n > 0 {
+		l.Ops[0].Deps = append(l.Ops[0].Deps, Dep{From: n - 1, Distance: 1})
+	}
+	return l
+}
+
+// wideLoop builds n independent operations (maximum ILP).
+func wideLoop(n int, kind vliw.OpKind) *Loop {
+	l := &Loop{Trip: 100}
+	for i := 0; i < n; i++ {
+		l.Ops = append(l.Ops, Op{Kind: kind})
+	}
+	return l
+}
+
+func TestResMII(t *testing.T) {
+	m := vliw.Default()
+	// 8 independent adds on 4 ALUs: ResMII 2.
+	if got := ResMII(wideLoop(8, vliw.KindAdd), m); got != 2 {
+		t.Errorf("8 adds: ResMII = %d, want 2", got)
+	}
+	// 6 loads on 2 memory ports: ResMII 3.
+	if got := ResMII(wideLoop(6, vliw.KindLoad), m); got != 3 {
+		t.Errorf("6 loads: ResMII = %d, want 3", got)
+	}
+}
+
+func TestRecMII(t *testing.T) {
+	m := vliw.Default()
+	// No recurrence: RecMII 1.
+	if got := RecMII(chainLoop(5, false), m); got != 1 {
+		t.Errorf("acyclic: RecMII = %d, want 1", got)
+	}
+	// Recurrence of 5 adds (latency 1 each) with distance 1: RecMII 5.
+	if got := RecMII(chainLoop(5, true), m); got != 5 {
+		t.Errorf("5-add recurrence: RecMII = %d, want 5", got)
+	}
+}
+
+func TestValidateRejectsBadLoops(t *testing.T) {
+	l := &Loop{Ops: []Op{{Kind: vliw.KindAdd, Deps: []Dep{{From: 5}}}}}
+	if err := l.Validate(); err == nil {
+		t.Error("out-of-range dep accepted")
+	}
+	// Distance-0 cycle.
+	l2 := &Loop{Ops: []Op{
+		{Kind: vliw.KindAdd, Deps: []Dep{{From: 1}}},
+		{Kind: vliw.KindAdd, Deps: []Dep{{From: 0}}},
+	}}
+	if err := l2.Validate(); err == nil {
+		t.Error("distance-0 cycle accepted")
+	}
+	// Same cycle with a carried edge is legal.
+	l3 := &Loop{Ops: []Op{
+		{Kind: vliw.KindAdd, Deps: []Dep{{From: 1, Distance: 1}}},
+		{Kind: vliw.KindAdd, Deps: []Dep{{From: 0}}},
+	}}
+	if err := l3.Validate(); err != nil {
+		t.Errorf("legal carried cycle rejected: %v", err)
+	}
+}
+
+func checkSchedule(t *testing.T, s *Schedule) {
+	t.Helper()
+	m := s.Machine
+	l := s.Loop
+	// Every dependence satisfied: t_to >= t_from + lat - II*dist.
+	for to, op := range l.Ops {
+		for _, d := range op.Deps {
+			need := s.Time[d.From] + m.Latency(l.Ops[d.From].Kind) - s.II*d.Distance
+			if s.Time[to] < need {
+				t.Errorf("dep %d->%d violated: t=%d need >= %d", d.From, to, s.Time[to], need)
+			}
+		}
+	}
+	// Resource constraints per modulo row.
+	rows := map[int][2]int{}
+	for i, op := range l.Ops {
+		row := ((s.Time[i] % s.II) + s.II) % s.II
+		used := rows[row]
+		used[vliw.ClassOf(op.Kind)]++
+		rows[row] = used
+	}
+	for row, used := range rows {
+		if used[vliw.ALU] > m.SlotsOf(vliw.ALU) || used[vliw.MEM] > m.SlotsOf(vliw.MEM) {
+			t.Errorf("row %d oversubscribed: %v", row, used)
+		}
+	}
+}
+
+func TestCompileSatisfiesConstraints(t *testing.T) {
+	m := vliw.Default()
+	for _, l := range []*Loop{
+		chainLoop(6, false),
+		chainLoop(6, true),
+		wideLoop(12, vliw.KindAdd),
+		wideLoop(7, vliw.KindLoad),
+	} {
+		s, err := Compile(l, m, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSchedule(t, s)
+		if s.II < MII(l, m) {
+			t.Errorf("II %d below MII %d", s.II, MII(l, m))
+		}
+	}
+}
+
+// highPressureLoop builds a loop whose values all live long: k chains
+// that start early and are consumed late, inflating MaxLive.
+func highPressureLoop(k int) *Loop {
+	l := &Loop{Trip: 100}
+	// k long-lived producers.
+	for i := 0; i < k; i++ {
+		l.Ops = append(l.Ops, Op{Kind: vliw.KindMul})
+	}
+	// A reduction consuming all of them serially, so early values stay
+	// live until late.
+	prev := -1
+	for i := 0; i < k; i++ {
+		op := Op{Kind: vliw.KindAdd, Deps: []Dep{{From: i}}}
+		if prev >= 0 {
+			op.Deps = append(op.Deps, Dep{From: prev})
+		}
+		prev = len(l.Ops)
+		l.Ops = append(l.Ops, op)
+	}
+	return l
+}
+
+func TestPressureTriggersSpills(t *testing.T) {
+	m := vliw.Default()
+	l := highPressureLoop(24)
+	free, err := Compile(l, m, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.MaxLive <= 8 {
+		t.Fatalf("test premise: pressure too low (%d)", free.MaxLive)
+	}
+	tight, err := Compile(l, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, tight)
+	if tight.Spilled == 0 {
+		t.Error("RegN=8 must spill")
+	}
+	if tight.MaxLive > 8 && tight.SpillOps == 0 {
+		t.Errorf("MaxLive %d > 8 without spill ops", tight.MaxLive)
+	}
+	if free.Spilled != 0 {
+		t.Error("RegN=64 should not spill this loop")
+	}
+}
+
+func TestMoreRegistersNoWorse(t *testing.T) {
+	m := vliw.Default()
+	l := highPressureLoop(20)
+	var prevII, prevSpills int
+	for i, regN := range []int{8, 16, 24, 32, 48} {
+		s, err := Compile(l, m, regN)
+		if err != nil {
+			t.Fatalf("regN=%d: %v", regN, err)
+		}
+		checkSchedule(t, s)
+		if i > 0 {
+			if s.Spilled > prevSpills {
+				t.Errorf("regN=%d spills %d > fewer-regs spills %d", regN, s.Spilled, prevSpills)
+			}
+		}
+		prevII, prevSpills = s.II, s.Spilled
+	}
+	_ = prevII
+}
+
+func TestCyclesScaleWithII(t *testing.T) {
+	m := vliw.Default()
+	l := chainLoop(4, true) // RecMII 4
+	s, err := Compile(l, m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cycles()
+	if c < s.II*l.Trip {
+		t.Errorf("cycles %d below II*trip %d", c, s.II*l.Trip)
+	}
+}
+
+func TestKernelRegsRespectLifetimes(t *testing.T) {
+	m := vliw.Default()
+	l := highPressureLoop(10)
+	s, err := Compile(l, m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regOf := KernelRegs(s, 32)
+	for i, op := range l.Ops {
+		if op.Kind == vliw.KindStore {
+			if regOf[i] != -1 {
+				t.Errorf("store %d got register %d", i, regOf[i])
+			}
+			continue
+		}
+		if regOf[i] < 0 || regOf[i] >= 32 {
+			t.Errorf("op %d register %d out of range", i, regOf[i])
+		}
+	}
+}
+
+func TestAccessSequenceCoversOps(t *testing.T) {
+	m := vliw.Default()
+	l := chainLoop(5, false)
+	s, err := Compile(l, m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regOf := KernelRegs(s, 32)
+	seq := AccessSequence(s, regOf)
+	// 5 adds: 4 have one input each; every op has an output: 9 fields.
+	if len(seq) != 9 {
+		t.Errorf("sequence length %d, want 9", len(seq))
+	}
+}
+
+func TestEncodingCostDropsWithDiffN(t *testing.T) {
+	m := vliw.Default()
+	rng := rand.New(rand.NewSource(4))
+	l := randomLoop(rng, 24)
+	s, err := Compile(l, m, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regOf := KernelRegs(s, 32)
+	prev := -1
+	for _, diffN := range []int{32, 16, 8, 4} {
+		c := EncodingCost(s, regOf, 32, diffN, 30, 1)
+		if prev >= 0 && c < prev {
+			t.Errorf("diffN=%d cost %d below larger-diffN cost %d", diffN, c, prev)
+		}
+		prev = c
+	}
+	// DiffN == RegN is direct-equivalent: zero sets.
+	if c := EncodingCost(s, regOf, 32, 32, 10, 1); c != 0 {
+		t.Errorf("DiffN=RegN cost %d, want 0", c)
+	}
+}
+
+func randomLoop(rng *rand.Rand, n int) *Loop {
+	l := &Loop{Trip: 100}
+	for i := 0; i < n; i++ {
+		kinds := []vliw.OpKind{vliw.KindAdd, vliw.KindAdd, vliw.KindMul, vliw.KindLoad}
+		op := Op{Kind: kinds[rng.Intn(len(kinds))]}
+		for d := 0; d < rng.Intn(3) && i > 0; d++ {
+			op.Deps = append(op.Deps, Dep{From: rng.Intn(i)})
+		}
+		l.Ops = append(l.Ops, op)
+	}
+	return l
+}
+
+func TestRandomLoopsScheduleAndSpill(t *testing.T) {
+	m := vliw.Default()
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		l := randomLoop(rng, 5+rng.Intn(40))
+		if err := l.Validate(); err != nil {
+			t.Fatalf("generator: %v", err)
+		}
+		for _, regN := range []int{6, 12, 32} {
+			s, err := Compile(l, m, regN)
+			if err != nil {
+				t.Fatalf("trial %d regN %d: %v", trial, regN, err)
+			}
+			checkSchedule(t, s)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package ospill
+
+import (
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/regalloc"
+)
+
+func allocIRC(f *ir.Func, k int) (*ir.Func, *regalloc.Assignment, error) {
+	return irc.Allocate(f, irc.Options{K: k})
+}

@@ -1,0 +1,224 @@
+package ospill
+
+import (
+	"sort"
+
+	"diffra/internal/bitset"
+	"diffra/internal/ilp"
+	"diffra/internal/ir"
+	"diffra/internal/liveness"
+	"diffra/internal/regalloc"
+)
+
+// Loop-granularity spilling. A live range that crosses a loop without
+// being referenced inside it occupies a register for the whole loop
+// for no benefit. Where Chaitin-style allocators can only spill such a
+// range everywhere (paying a load at every use elsewhere), the optimal
+// spilling formulation gives the solver a second, often far cheaper
+// option: store the value once on entry to the loop and reload it once
+// on exit. This placement freedom — deciding per program region rather
+// than per live range — is the essence of what the CPLEX formulation
+// of Appel & George buys (paper reference [1]); the covering model
+// here captures its most profitable special case.
+
+// LoopSpillCandidate is a (live range, loop) pair eligible for
+// region spilling.
+type LoopSpillCandidate struct {
+	V    ir.Reg
+	Loop *ir.Loop
+	// Cost is the frequency-weighted price: one store per loop entry
+	// edge plus one load per loop exit edge where V is live.
+	Cost float64
+	// entries and exits are the placement edges.
+	entries []edge
+	exits   []edge
+}
+
+type edge struct{ from, to *ir.Block }
+
+// loopSpillCandidates enumerates eligible pairs: v live into the loop
+// header, no occurrence of v anywhere in the loop.
+func loopSpillCandidates(f *ir.Func, info *liveness.Info) []LoopSpillCandidate {
+	var out []LoopSpillCandidate
+	freq := f.BlockFreq()
+	loops := f.NaturalLoops()
+	// Deterministic order: by header block index.
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header.Index < loops[j].Header.Index })
+
+	for _, l := range loops {
+		// Occurrence set of the loop.
+		occurs := map[ir.Reg]bool{}
+		for b := range l.Blocks {
+			for _, in := range b.Instrs {
+				for _, u := range in.Uses {
+					occurs[u] = true
+				}
+				for _, d := range in.Defs {
+					occurs[d] = true
+				}
+			}
+		}
+		var entries []edge
+		for _, p := range l.Header.Preds {
+			if !l.Blocks[p] {
+				entries = append(entries, edge{p, l.Header})
+			}
+		}
+		var exits []edge
+		for b := range l.Blocks {
+			for _, s := range b.Succs {
+				if !l.Blocks[s] {
+					exits = append(exits, edge{b, s})
+				}
+			}
+		}
+		sort.Slice(exits, func(i, j int) bool {
+			if exits[i].from.Index != exits[j].from.Index {
+				return exits[i].from.Index < exits[j].from.Index
+			}
+			return exits[i].to.Index < exits[j].to.Index
+		})
+		if len(entries) == 0 {
+			continue // unreachable or irreducible shape
+		}
+
+		live := info.LiveIn[l.Header.Index]
+		live.ForEach(func(vi int) {
+			v := ir.Reg(vi)
+			if occurs[v] {
+				return
+			}
+			// Exits where v is live onward need a reload.
+			var vexits []edge
+			cost := 0.0
+			for _, e := range exits {
+				if info.LiveIn[e.to.Index].Has(vi) {
+					vexits = append(vexits, e)
+					cost += freq[e.to]
+				}
+			}
+			for _, e := range entries {
+				cost += freq[e.from]
+			}
+			out = append(out, LoopSpillCandidate{
+				V: v, Loop: l, Cost: cost, entries: entries, exits: vexits,
+			})
+		})
+	}
+	return out
+}
+
+// ExtendedSpillProblem builds the covering instance with both
+// full-range spill variables (0..NumRegs-1) and loop-spill variables
+// (appended after). A full spill and any loop spill of the same range
+// are mutually exclusive — both free the same register inside the
+// loop, so paying for both must never count twice toward a pressure
+// constraint.
+func ExtendedSpillProblem(f *ir.Func, k int) (ilp.Problem, []LoopSpillCandidate) {
+	info := liveness.Compute(f)
+	cands := loopSpillCandidates(f, info)
+	base := SpillProblem(f, k)
+	n := f.NumRegs()
+
+	// Index candidates by (v) and by loop block for constraint
+	// augmentation.
+	varOf := make([]int, len(cands))
+	for i := range cands {
+		varOf[i] = n + i
+		base.Costs = append(base.Costs, cands[i].Cost)
+	}
+	byV := map[ir.Reg][]int{}
+	for i, c := range cands {
+		byV[c.V] = append(byV[c.V], i)
+	}
+	vkeys := make([]int, 0, len(byV))
+	for v := range byV {
+		vkeys = append(vkeys, int(v))
+	}
+	sort.Ints(vkeys)
+	for _, vk := range vkeys {
+		g := []int{vk}
+		for _, ci := range byV[ir.Reg(vk)] {
+			g = append(g, varOf[ci])
+		}
+		base.Exclusive = append(base.Exclusive, g)
+	}
+
+	// SpillProblem deduplicated points, losing block identity; rebuild
+	// the constraints here with loop context. A constraint at a point
+	// in block b may be covered, for live range v, by the full spill
+	// x_v or by any loop spill (v, L) with b inside L.
+	base.Constraints = nil
+	seen := map[string]bool{}
+	addPoint := func(b *ir.Block, live []int) {
+		if len(live) <= k {
+			return
+		}
+		vars := append([]int(nil), live...)
+		for _, vi := range live {
+			for _, ci := range byV[ir.Reg(vi)] {
+				if cands[ci].Loop.Blocks[b] {
+					vars = append(vars, varOf[ci])
+				}
+			}
+		}
+		key := conKey(vars, len(live)-k)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		base.Constraints = append(base.Constraints, ilp.Constraint{Vars: vars, Need: len(live) - k})
+	}
+	for _, b := range f.Blocks {
+		addPoint(b, info.LiveIn[b.Index].Elems())
+		info.LiveAcross(b, func(_ int, _ *ir.Instr, liveAfter *bitset.Set) {
+			addPoint(b, liveAfter.Elems())
+		})
+	}
+	return base, cands
+}
+
+// edgeBlock returns a block in which code belonging to the edge e can
+// be placed just before the terminator: the source itself when it has
+// a single successor, an already-existing split block between the two
+// (from a previous candidate's rewrite), or a freshly split one.
+func edgeBlock(f *ir.Func, e edge) *ir.Block {
+	if len(e.from.Succs) == 1 {
+		return e.from
+	}
+	for _, s := range e.from.Succs {
+		if s == e.to {
+			b := f.SplitEdge(e.from, e.to)
+			f.Reindex()
+			return b
+		}
+	}
+	// A previous rewrite split this edge already; reuse the split
+	// block (single-entry single-exit jmp to the target).
+	for _, s := range e.from.Succs {
+		if len(s.Preds) == 1 && len(s.Succs) == 1 && s.Succs[0] == e.to {
+			return s
+		}
+	}
+	panic("ospill: edge " + e.from.Name + " -> " + e.to.Name + " disappeared")
+}
+
+// ApplyLoopSpill rewrites f for one chosen candidate: a store of V on
+// every loop entry edge and a reload on every exit edge where V lives
+// on. Critical edges are split (and split blocks are shared across
+// candidates). Returns the number of instructions inserted.
+func ApplyLoopSpill(f *ir.Func, c LoopSpillCandidate, slots *regalloc.SlotAssigner) int {
+	slot := slots.SlotOf(c.V)
+	inserted := 0
+	for _, e := range c.entries {
+		b := edgeBlock(f, e)
+		b.InsertBefore(len(b.Instrs)-1, &ir.Instr{Op: ir.OpSpillStore, Uses: []ir.Reg{c.V}, Imm: slot, Imm2: -1})
+		inserted++
+	}
+	for _, e := range c.exits {
+		b := edgeBlock(f, e)
+		b.InsertBefore(len(b.Instrs)-1, &ir.Instr{Op: ir.OpSpillLoad, Defs: []ir.Reg{c.V}, Imm: slot, Imm2: -1})
+		inserted++
+	}
+	return inserted
+}

@@ -1,0 +1,231 @@
+// Package ospill implements the optimal spilling register allocator of
+// Appel & George (PLDI 2001), the foundation of the paper's third
+// scheme (§7). Spill decisions are made first and globally: a 0-1
+// integer program selects the cheapest (frequency-weighted) set of
+// live ranges to spill such that at every program point at most K live
+// ranges remain in registers. The paper's authors solved the program
+// with CPLEX; here the stdlib branch-and-bound solver in internal/ilp
+// plays that role (see DESIGN.md's substitution table).
+//
+// The second phase — coalescing and coloring the now low-pressure
+// interference graph — is delegated to the iterated register
+// coalescing allocator, whose select stage remains pluggable so that
+// differential select (§6) and differential coalesce (§7) can reuse
+// this allocator's spilling phase.
+package ospill
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"diffra/internal/bitset"
+	"diffra/internal/ilp"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/liveness"
+	"diffra/internal/regalloc"
+)
+
+// Options configures the allocator.
+type Options struct {
+	// K is the number of machine registers.
+	K int
+	// Picker / PickerFactory configure the coloring phase's select
+	// stage (see irc.Options).
+	Picker        irc.ColorPicker
+	PickerFactory irc.PickerFactory
+	// MaxNodes caps the ILP search (0: solver default).
+	MaxNodes int
+	// DisableLoopSpills turns off loop-granularity spill placement
+	// (store once on loop entry, reload on exit, for ranges live
+	// through a loop but unreferenced inside it) and reverts to
+	// whole-range spilling only. Kept as an ablation knob.
+	DisableLoopSpills bool
+}
+
+// Stats reports how the spill decision went.
+type Stats struct {
+	// ILPOptimal is true when the spill set is provably optimal for
+	// the covering model.
+	ILPOptimal bool
+	// ILPSpilled counts live ranges spilled by the optimal phase.
+	ILPSpilled int
+	// ResidualSpilled counts live ranges the coloring phase still had
+	// to spill (pressure <= K does not guarantee K-colorability).
+	ResidualSpilled int
+	// LoopSpilled counts (range, loop) pairs spilled at loop
+	// granularity instead of everywhere.
+	LoopSpilled int
+	// Constraints is the number of over-pressure program points.
+	Constraints int
+}
+
+// SpillProblem builds the covering instance for f with K registers:
+// one constraint per program point whose live set exceeds K, demanding
+// that at least pressure-K of the ranges live there be spilled.
+// Duplicate points collapse into one constraint.
+func SpillProblem(f *ir.Func, k int) ilp.Problem {
+	info := liveness.Compute(f)
+	// Objective: the frequency-weighted Chaitin cost (the dynamic
+	// spill overhead Appel & George minimize), with the static
+	// occurrence count as a mild tiebreak so equally-hot candidates
+	// prefer the one inserting fewer instructions.
+	occ := liveness.Occurrences(f)
+	weighted := liveness.SpillCosts(f)
+	costs := make([]float64, len(occ))
+	for v := range costs {
+		costs[v] = weighted[v] + occ[v]/float64(len(occ)+1)
+	}
+	p := ilp.Problem{Costs: costs}
+	seen := map[string]bool{}
+
+	addPoint := func(live *bitset.Set) {
+		n := live.Len()
+		if n <= k {
+			return
+		}
+		vars := live.Elems()
+		key := conKey(vars, n-k)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		p.Constraints = append(p.Constraints, ilp.Constraint{Vars: vars, Need: n - k})
+	}
+
+	for _, b := range f.Blocks {
+		addPoint(info.LiveIn[b.Index])
+		info.LiveAcross(b, func(_ int, _ *ir.Instr, liveAfter *bitset.Set) {
+			addPoint(liveAfter)
+		})
+	}
+	return p
+}
+
+func conKey(vars []int, need int) string {
+	var sb strings.Builder
+	sb.WriteString(strconv.Itoa(need))
+	for _, v := range vars {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// DecideSpills runs the optimal spill phase on f (without rewriting):
+// it returns the chosen spill set and whether it is provably optimal.
+func DecideSpills(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, Stats) {
+	prob := SpillProblem(f, k)
+	st := Stats{Constraints: len(prob.Constraints)}
+	spills := make(map[ir.Reg]bool)
+	if len(prob.Constraints) == 0 {
+		st.ILPOptimal = true
+		return spills, st
+	}
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes})
+	st.ILPOptimal = sol.Optimal
+	for v, on := range sol.X {
+		if on {
+			spills[ir.Reg(v)] = true
+			st.ILPSpilled++
+		}
+	}
+	return spills, st
+}
+
+// DecideSpillsExtended runs the optimal phase with loop-granularity
+// candidates. It returns the full-range spill set and the chosen loop
+// spills. When the extended program yields no feasible solution within
+// budget, it falls back to the whole-range model (always feasible).
+func DecideSpillsExtended(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, []LoopSpillCandidate, Stats) {
+	prob, cands := ExtendedSpillProblem(f, k)
+	st := Stats{Constraints: len(prob.Constraints)}
+	spills := make(map[ir.Reg]bool)
+	if len(prob.Constraints) == 0 {
+		st.ILPOptimal = true
+		return spills, nil, st
+	}
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes})
+	if sol.X == nil {
+		spills, st = DecideSpills(f, k, maxNodes)
+		return spills, nil, st
+	}
+	st.ILPOptimal = sol.Optimal
+	n := f.NumRegs()
+	var chosen []LoopSpillCandidate
+	for v, on := range sol.X {
+		if !on {
+			continue
+		}
+		if v < n {
+			spills[ir.Reg(v)] = true
+			st.ILPSpilled++
+		} else {
+			chosen = append(chosen, cands[v-n])
+			st.LoopSpilled++
+		}
+	}
+	return spills, chosen, st
+}
+
+// Allocate runs both phases and returns the rewritten function, the
+// assignment, and spill statistics.
+func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats, error) {
+	work := f.Clone()
+	var spills map[ir.Reg]bool
+	var loopChosen []LoopSpillCandidate
+	var st Stats
+	if opts.DisableLoopSpills {
+		spills, st = DecideSpills(work, opts.K, opts.MaxNodes)
+	} else {
+		spills, loopChosen, st = DecideSpillsExtended(work, opts.K, opts.MaxNodes)
+	}
+
+	slots := regalloc.NewSlotAssigner()
+	stackParams := map[ir.Reg]int64{}
+	for _, p := range work.Params {
+		if spills[p] {
+			stackParams[p] = slots.SlotOf(p)
+		}
+	}
+	var inserted int
+	for _, c := range loopChosen {
+		inserted += ApplyLoopSpill(work, c, slots)
+	}
+	if len(spills) > 0 {
+		_, n := regalloc.RewriteSpills(work, spills, slots)
+		inserted += n
+	}
+	if err := work.Verify(); err != nil {
+		return nil, nil, nil, err
+	}
+
+	out, asn, err := irc.Allocate(work, irc.Options{
+		K:             opts.K,
+		Picker:        opts.Picker,
+		PickerFactory: opts.PickerFactory,
+		Slots:         slots,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st.ResidualSpilled = asn.SpilledVRegs
+	asn.SpilledVRegs += st.ILPSpilled
+	asn.SpillInstrs += inserted
+	for p, slot := range stackParams {
+		asn.StackParams[p] = slot
+	}
+	return out, asn, &st, nil
+}
+
+// sortedRegs is a test helper exposing a deterministic view of a
+// spill set.
+func sortedRegs(m map[ir.Reg]bool) []int {
+	out := make([]int, 0, len(m))
+	for r := range m {
+		out = append(out, int(r))
+	}
+	sort.Ints(out)
+	return out
+}

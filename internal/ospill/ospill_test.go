@@ -1,0 +1,198 @@
+package ospill
+
+import (
+	"testing"
+
+	"diffra/internal/ir"
+	"diffra/internal/liveness"
+	"diffra/internal/regalloc"
+)
+
+// pressure6 keeps six values live at once inside a loop.
+const pressure6 = `
+func p6(v0, v1, v2, v3, v4, v5) {
+entry:
+  jmp head
+head:
+  blt v0, v1 -> body, exit
+body:
+  v0 = add v0, v1
+  v1 = add v1, v2
+  v2 = add v2, v3
+  v3 = add v3, v4
+  v4 = add v4, v5
+  v5 = add v5, v0
+  jmp head
+exit:
+  v0 = add v0, v1
+  v0 = add v0, v2
+  v0 = add v0, v3
+  v0 = add v0, v4
+  v0 = add v0, v5
+  ret v0
+}
+`
+
+func TestSpillProblemShape(t *testing.T) {
+	f := ir.MustParse(pressure6)
+	p := SpillProblem(f, 4)
+	if len(p.Constraints) == 0 {
+		t.Fatal("pressure 6 > 4 must produce constraints")
+	}
+	for _, c := range p.Constraints {
+		if c.Need < 1 || c.Need > len(c.Vars) {
+			t.Errorf("bad constraint %+v", c)
+		}
+		// Need = pressure - K, and pressure = len(Vars) at that point.
+		if c.Need != len(c.Vars)-4 {
+			t.Errorf("constraint need %d with %d vars (K=4)", c.Need, len(c.Vars))
+		}
+	}
+	// With K = 6 no constraints.
+	if p := SpillProblem(f, 6); len(p.Constraints) != 0 {
+		t.Errorf("K=6 should have no constraints, got %d", len(p.Constraints))
+	}
+}
+
+func TestDecideSpillsReducesPressure(t *testing.T) {
+	f := ir.MustParse(pressure6)
+	spills, st := DecideSpills(f, 4, 0)
+	if !st.ILPOptimal {
+		t.Error("small instance must solve to optimality")
+	}
+	if len(spills) != 2 {
+		t.Errorf("spilled %v, want exactly 2 ranges (pressure 6, K 4)", sortedRegs(spills))
+	}
+	// Rewriting with the chosen set must bring MaxPressure near K.
+	work := f.Clone()
+	slots := regalloc.NewSlotAssigner()
+	regalloc.RewriteSpills(work, spills, slots)
+	if p := liveness.Compute(work).MaxPressure(); p > 6 {
+		t.Errorf("post-spill pressure %d, want <= 6 (K plus transient reload temps)", p)
+	}
+}
+
+func TestDecideSpillsPicksCheapRanges(t *testing.T) {
+	// v4 and v5 are used only outside the loop: the optimal solver must
+	// prefer them over loop-hot ranges.
+	src := `
+func f(v0, v1, v2, v3, v4, v5) {
+entry:
+  jmp head
+head:
+  blt v0, v1 -> body, exit
+body:
+  v0 = add v0, v1
+  v1 = add v1, v2
+  v2 = add v2, v3
+  v3 = add v3, v0
+  jmp head
+exit:
+  v0 = add v0, v4
+  v0 = add v0, v5
+  v0 = add v0, v1
+  v0 = add v0, v2
+  v0 = add v0, v3
+  ret v0
+}
+`
+	f := ir.MustParse(src)
+	spills, st := DecideSpills(f, 4, 0)
+	if !st.ILPOptimal {
+		t.Fatal("must be optimal")
+	}
+	for r := range spills {
+		if r != 4 && r != 5 {
+			t.Errorf("spilled hot range v%d; optimal set is {v4, v5} (got %v)", r, sortedRegs(spills))
+		}
+	}
+}
+
+func TestAllocateEndToEnd(t *testing.T) {
+	f := ir.MustParse(pressure6)
+	out, asn, st, err := Allocate(f, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		t.Fatal(err)
+	}
+	if st.ILPSpilled == 0 {
+		t.Error("expected ILP spills")
+	}
+	if asn.SpillInstrs == 0 {
+		t.Error("spill instructions must be counted")
+	}
+}
+
+func TestAllocateNoPressureNoSpills(t *testing.T) {
+	f := ir.MustParse(pressure6)
+	out, asn, st, err := Allocate(f, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ILPSpilled != 0 || asn.SpilledVRegs != 0 {
+		t.Errorf("no spills expected at K=8: %+v %+v", st, asn)
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalBeatsIRCWhenCheapRangesExist(t *testing.T) {
+	// Where the optimal allocator shines: cold ranges can absorb all
+	// the pressure. v4/v5 live across the loop but are used only in the
+	// exit block; the ILP spills exactly those, while IRC's
+	// cost/degree heuristic may do the same — the invariant asserted is
+	// that optimal never spills hot loop code.
+	src := `
+func f(v0, v1, v2, v3, v4, v5) {
+entry:
+  jmp head
+head:
+  blt v0, v1 -> body, exit
+body:
+  v0 = add v0, v1
+  v1 = add v1, v2
+  v2 = add v2, v3
+  v3 = add v3, v0
+  jmp head
+exit:
+  v6 = add v0, v1
+  v6 = add v6, v2
+  v6 = add v6, v3
+  v6 = add v6, v4
+  v6 = add v6, v5
+  ret v6
+}
+`
+	f := ir.MustParse(src)
+	out, asn, st, err := Allocate(f, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		t.Fatal(err)
+	}
+	if !st.ILPOptimal {
+		t.Fatal("expected optimal solve")
+	}
+	// No spill instruction may appear inside the loop body.
+	body := out.BlockByName("body")
+	for _, in := range body.Instrs {
+		if in.Op == ir.OpSpillLoad || in.Op == ir.OpSpillStore {
+			t.Errorf("optimal spilling placed spill code in hot loop: %s", in)
+		}
+	}
+	// Sanity: IRC still produces a valid allocation here.
+	ircOut, ircAsn, err := allocIRC(f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regalloc.Verify(ircOut, ircAsn); err != nil {
+		t.Fatal(err)
+	}
+}

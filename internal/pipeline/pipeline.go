@@ -1,0 +1,354 @@
+// Package pipeline simulates a 5-stage in-order scalar processor — the
+// paper's low-end evaluation machine (§10.1, an ARM/THUMB-like core
+// modeled on SimpleScalar; see DESIGN.md's substitution table). It
+// interprets allocated IR functions cycle-approximately:
+//
+//   - every instruction costs its latency (1 for simple ALU ops, more
+//     for multiply/divide),
+//   - instruction fetch goes through the I-cache at the instruction's
+//     placed address,
+//   - loads and stores (including spill code) go through the D-cache,
+//   - taken branches pay a one-cycle redirect bubble,
+//   - set_last_reg instructions are fetched and decoded but never enter
+//     the execute stage (§2.3): they cost one decode slot plus fetch.
+//
+// Register operands are resolved through the allocation's colors, so a
+// miscolored program computes wrong values — executing through the
+// machine register file doubles as a dynamic validation of the
+// allocator.
+package pipeline
+
+import (
+	"fmt"
+
+	"diffra/internal/cache"
+	"diffra/internal/encode"
+	"diffra/internal/ir"
+	"diffra/internal/regalloc"
+)
+
+// Config describes the machine.
+type Config struct {
+	ICache cache.Config
+	DCache cache.Config
+	// Latency per opcode class.
+	MulLat, DivLat int
+	// BranchBubble is the redirect penalty for taken branches.
+	BranchBubble int
+	// LoadUseBubble is the extra cycle(s) a load costs even on a cache
+	// hit: the classic load-use delay of a 5-stage in-order pipeline.
+	LoadUseBubble int
+	// MaxInstrs bounds execution (0: 50 million).
+	MaxInstrs uint64
+	// Model places the code (zero value: encode.Thumb16()).
+	Model encode.Model
+}
+
+// LowEnd returns the Table-1-like configuration used by the low-end
+// experiments: a 5-stage in-order core with small split caches.
+func LowEnd() Config {
+	return Config{
+		ICache:        cache.Config{Size: 4096, LineSize: 32, Assoc: 2, MissPenalty: 20},
+		DCache:        cache.Config{Size: 4096, LineSize: 32, Assoc: 2, MissPenalty: 20},
+		MulLat:        3,
+		DivLat:        12,
+		BranchBubble:  1,
+		LoadUseBubble: 1,
+		Model:         encode.Thumb16(),
+	}
+}
+
+// Stats is the outcome of a run.
+type Stats struct {
+	Cycles      uint64
+	Instrs      uint64
+	SetLastRegs uint64
+	SpillOps    uint64
+	MemOps      uint64
+	Branches    uint64
+	Taken       uint64
+	ICache      cache.Stats
+	DCache      cache.Stats
+	// BlockCounts[i] is how many times block with Index i was entered:
+	// an execution profile usable as adjacency edge weights (the §4
+	// remark that "profile information could be incorporated to
+	// improve the cost estimation").
+	BlockCounts []uint64
+}
+
+// CPI returns cycles per instruction.
+func (s Stats) CPI() float64 {
+	if s.Instrs == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Instrs)
+}
+
+// Machine executes functions.
+type Machine struct {
+	cfg Config
+	ic  *cache.Cache
+	dc  *cache.Cache
+}
+
+// New builds a machine.
+func New(cfg Config) (*Machine, error) {
+	if cfg.Model.InstrBytes == 0 {
+		cfg.Model = encode.Thumb16()
+	}
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 50_000_000
+	}
+	ic, err := cache.New(cfg.ICache)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: icache: %w", err)
+	}
+	dc, err := cache.New(cfg.DCache)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: dcache: %w", err)
+	}
+	return &Machine{cfg: cfg, ic: ic, dc: dc}, nil
+}
+
+// Run options.
+type RunOptions struct {
+	// Args are the argument values, one per ORIGINAL parameter of the
+	// pre-allocation function, in order. OrigParams lists those
+	// original parameter registers; spilled ones are matched against
+	// asn.StackParams, the rest bind to f.Params in order.
+	Args       []int64
+	OrigParams []ir.Reg
+	// Mem pre-initializes data memory (word addressed, 4-byte words).
+	Mem map[int64]int64
+}
+
+// spillBase places spill slots in a dedicated region of the data
+// address space so spill traffic shares the D-cache with program data,
+// as on the real machine.
+const spillBase = int64(1) << 28
+
+// Run executes f to completion and returns the return value and
+// statistics. When asn is non-nil operands resolve through machine
+// registers (colors); with a nil asn the function runs directly on
+// virtual registers (useful as a semantic reference).
+func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (ret int64, st Stats, err error) {
+	m.ic.Reset()
+	m.dc.Reset()
+	defer func() {
+		st.ICache = m.ic.Stats
+		st.DCache = m.dc.Stats
+	}()
+
+	nregs := f.NumRegs()
+	if asn != nil {
+		nregs = asn.K
+	}
+	regs := make([]int64, nregs)
+	regOf := func(r ir.Reg) int {
+		if asn == nil {
+			return int(r)
+		}
+		return asn.Color[r]
+	}
+
+	mem := make(map[int64]int64, len(opts.Mem)+64)
+	for k, v := range opts.Mem {
+		mem[k] = v
+	}
+
+	// Bind arguments.
+	origParams := opts.OrigParams
+	if origParams == nil {
+		origParams = f.Params
+	}
+	if len(opts.Args) != len(origParams) {
+		return 0, st, fmt.Errorf("pipeline: %d args for %d params", len(opts.Args), len(origParams))
+	}
+	next := 0
+	for i, p := range origParams {
+		if asn != nil {
+			if slot, ok := asn.StackParams[p]; ok {
+				mem[spillBase+slot] = opts.Args[i]
+				continue
+			}
+		}
+		if next >= len(f.Params) {
+			return 0, st, fmt.Errorf("pipeline: parameter binding ran out of register params")
+		}
+		regs[regOf(f.Params[next])] = opts.Args[i]
+		next++
+	}
+
+	layout := encode.Place(f, m.cfg.Model, 0)
+
+	st.BlockCounts = make([]uint64, len(f.Blocks))
+	b := f.Entry()
+	st.BlockCounts[b.Index]++
+	ii := 0
+	for {
+		if ii >= len(b.Instrs) {
+			return 0, st, fmt.Errorf("pipeline: fell off block %s", b.Name)
+		}
+		in := b.Instrs[ii]
+		if st.Instrs >= m.cfg.MaxInstrs {
+			return 0, st, fmt.Errorf("pipeline: instruction budget exhausted (%d)", m.cfg.MaxInstrs)
+		}
+		st.Instrs++
+		st.Cycles++ // base cycle
+
+		// Fetch through the I-cache.
+		if !m.ic.Access(layout.Addr[in]) {
+			st.Cycles += uint64(m.ic.Penalty())
+		}
+
+		get := func(i int) int64 { return regs[regOf(in.Uses[i])] }
+		set := func(v int64) { regs[regOf(in.Defs[0])] = v }
+		dmem := func(addr int64) {
+			st.MemOps++
+			if !m.dc.Access(uint64(addr)) {
+				st.Cycles += uint64(m.dc.Penalty())
+			}
+		}
+
+		branchTo := -1 // successor index chosen by a branch
+		switch in.Op {
+		case ir.OpAdd:
+			set(get(0) + get(1))
+		case ir.OpSub:
+			set(get(0) - get(1))
+		case ir.OpMul:
+			set(get(0) * get(1))
+			st.Cycles += uint64(m.cfg.MulLat - 1)
+		case ir.OpDiv:
+			st.Cycles += uint64(m.cfg.DivLat - 1)
+			if d := get(1); d != 0 {
+				set(get(0) / d)
+			} else {
+				set(0)
+			}
+		case ir.OpRem:
+			st.Cycles += uint64(m.cfg.DivLat - 1)
+			if d := get(1); d != 0 {
+				set(get(0) % d)
+			} else {
+				set(0)
+			}
+		case ir.OpAnd:
+			set(get(0) & get(1))
+		case ir.OpOr:
+			set(get(0) | get(1))
+		case ir.OpXor:
+			set(get(0) ^ get(1))
+		case ir.OpShl:
+			set(get(0) << (uint64(get(1)) & 63))
+		case ir.OpShr:
+			set(int64(uint64(get(0)) >> (uint64(get(1)) & 63)))
+		case ir.OpNeg:
+			set(-get(0))
+		case ir.OpNot:
+			set(^get(0))
+		case ir.OpCmpEQ:
+			set(b2i(get(0) == get(1)))
+		case ir.OpCmpNE:
+			set(b2i(get(0) != get(1)))
+		case ir.OpCmpLT:
+			set(b2i(get(0) < get(1)))
+		case ir.OpCmpLE:
+			set(b2i(get(0) <= get(1)))
+		case ir.OpMov:
+			set(get(0))
+		case ir.OpLI:
+			set(in.Imm)
+		case ir.OpLoad:
+			addr := get(0) + in.Imm
+			dmem(addr)
+			st.Cycles += uint64(m.cfg.LoadUseBubble)
+			set(mem[addr])
+		case ir.OpStore:
+			addr := get(1) + in.Imm
+			dmem(addr)
+			mem[addr] = get(0)
+		case ir.OpSpillLoad:
+			st.SpillOps++
+			addr := spillBase + in.Imm
+			dmem(addr)
+			st.Cycles += uint64(m.cfg.LoadUseBubble)
+			set(mem[addr])
+		case ir.OpSpillStore:
+			st.SpillOps++
+			addr := spillBase + in.Imm
+			dmem(addr)
+			mem[addr] = get(0)
+		case ir.OpSetLastReg:
+			// Consumed at decode; costs the fetch/decode slot only.
+			st.SetLastRegs++
+		case ir.OpJmp:
+			branchTo = 0
+		case ir.OpBr:
+			st.Branches++
+			if get(0) != 0 {
+				branchTo = 0
+			} else {
+				branchTo = 1
+			}
+		case ir.OpBEQ, ir.OpBNE, ir.OpBLT, ir.OpBLE:
+			st.Branches++
+			taken := false
+			switch in.Op {
+			case ir.OpBEQ:
+				taken = get(0) == get(1)
+			case ir.OpBNE:
+				taken = get(0) != get(1)
+			case ir.OpBLT:
+				taken = get(0) < get(1)
+			case ir.OpBLE:
+				taken = get(0) <= get(1)
+			}
+			if taken {
+				branchTo = 0
+			} else {
+				branchTo = 1
+			}
+		case ir.OpRet:
+			if len(in.Uses) > 0 {
+				return get(0), st, nil
+			}
+			return 0, st, nil
+		case ir.OpCall:
+			// The workloads are leaf kernels; calls return zero.
+			set(0)
+		default:
+			return 0, st, fmt.Errorf("pipeline: cannot execute %s", in)
+		}
+
+		if branchTo >= 0 {
+			succ := b.Succs[branchTo]
+			// A control transfer away from fall-through pays the
+			// redirect bubble (successor 0 of a conditional branch and
+			// every jmp target).
+			if branchTo == 0 && in.Op != ir.OpJmp {
+				st.Taken++
+				st.Cycles += uint64(m.cfg.BranchBubble)
+			}
+			if in.Op == ir.OpJmp {
+				st.Cycles += uint64(m.cfg.BranchBubble)
+			}
+			b = succ
+			st.BlockCounts[b.Index]++
+			ii = 0
+		} else {
+			ii++
+		}
+	}
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// ICacheStats / DCacheStats expose the last run's cache statistics.
+func (m *Machine) ICacheStats() cache.Stats { return m.ic.Stats }
+func (m *Machine) DCacheStats() cache.Stats { return m.dc.Stats }

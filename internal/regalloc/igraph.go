@@ -1,0 +1,171 @@
+// Package regalloc holds the machinery shared by all register
+// allocators in this repository: the interference graph, spill-code
+// rewriting, allocation results and the allocation verifier.
+package regalloc
+
+import (
+	"fmt"
+
+	"diffra/internal/bitset"
+	"diffra/internal/ir"
+	"diffra/internal/liveness"
+)
+
+// Graph is an interference graph over the virtual registers of one
+// function, with the move instructions recorded for coalescing.
+type Graph struct {
+	N       int // node count == f.NumRegs()
+	adj     []*bitset.Set
+	AdjList [][]int
+	Moves   []*ir.Instr // register-to-register copies
+}
+
+// Build constructs the interference graph with the standard
+// Chaitin/Briggs rules: at every instruction the defined registers
+// interfere with everything live after the instruction, except that a
+// move's destination does not interfere with its source (so the pair
+// stays coalescible). Registers live on function entry (the
+// parameters) interfere pairwise, as they occupy registers
+// simultaneously at the call boundary.
+func Build(f *ir.Func, info *liveness.Info) *Graph {
+	g := &Graph{N: f.NumRegs()}
+	g.adj = make([]*bitset.Set, g.N)
+	g.AdjList = make([][]int, g.N)
+	for i := range g.adj {
+		g.adj[i] = bitset.New(g.N)
+	}
+
+	for _, b := range f.Blocks {
+		info.LiveAcross(b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
+			if in.IsMove() {
+				g.Moves = append(g.Moves, in)
+			}
+			for _, d := range in.Defs {
+				liveAfter.ForEach(func(l int) {
+					if in.IsMove() && ir.Reg(l) == in.Uses[0] {
+						return
+					}
+					g.AddEdge(int(d), l)
+				})
+				// Multiple defs of one instruction conflict with each other.
+				for _, d2 := range in.Defs {
+					g.AddEdge(int(d), int(d2))
+				}
+			}
+		})
+	}
+
+	// Entry clique: registers live into the entry block coexist without
+	// a defining instruction inside the function body.
+	entryLive := info.LiveIn[f.Entry().Index].Elems()
+	for i, u := range entryLive {
+		for _, v := range entryLive[i+1:] {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// AddEdge inserts an undirected interference edge between u and v.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || g.adj[u].Has(v) {
+		return
+	}
+	g.adj[u].Add(v)
+	g.adj[v].Add(u)
+	g.AdjList[u] = append(g.AdjList[u], v)
+	g.AdjList[v] = append(g.AdjList[v], u)
+}
+
+// Interferes reports whether u and v conflict.
+func (g *Graph) Interferes(u, v int) bool { return u != v && g.adj[u].Has(v) }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.AdjList[u]) }
+
+// Assignment is the result of register allocation: a machine register
+// number for every virtual register, plus bookkeeping about spills.
+type Assignment struct {
+	// Color[v] is the machine register of vreg v, or -1 for registers
+	// that no longer appear in the rewritten code.
+	Color []int
+	// K is the number of machine registers the allocator targeted.
+	K int
+	// SpilledVRegs counts distinct live ranges sent to memory.
+	SpilledVRegs int
+	// SpillInstrs counts spill_load/spill_store instructions inserted.
+	SpillInstrs int
+	// CoalescedMoves counts move instructions eliminated.
+	CoalescedMoves int
+	// StackParams maps original parameter vregs that were spilled to
+	// their stack slots: they arrive in memory rather than registers,
+	// as real calling conventions do once the register file is
+	// exhausted.
+	StackParams map[ir.Reg]int64
+}
+
+// SpillStats tallies spill instructions present in a function; the
+// evaluation (Fig. 11) reports spill instructions as a percentage of
+// all code.
+func SpillStats(f *ir.Func) (spills, total int) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			total++
+			if in.Op == ir.OpSpillLoad || in.Op == ir.OpSpillStore {
+				spills++
+			}
+		}
+	}
+	return spills, total
+}
+
+// Verify checks that the assignment is a valid coloring: every vreg
+// occurring in the code has a color in [0, K), and any two
+// simultaneously live vregs with an interference edge have distinct
+// colors. It recomputes liveness to be independent of allocator
+// bookkeeping.
+func Verify(f *ir.Func, asn *Assignment) error {
+	if len(asn.Color) < f.NumRegs() {
+		return fmt.Errorf("regalloc: assignment covers %d of %d vregs", len(asn.Color), f.NumRegs())
+	}
+	used := bitset.New(f.NumRegs())
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, r := range in.Uses {
+				used.Add(int(r))
+			}
+			for _, r := range in.Defs {
+				used.Add(int(r))
+			}
+		}
+	}
+	for _, p := range f.Params {
+		used.Add(int(p))
+	}
+	var err error
+	used.ForEach(func(v int) {
+		if err != nil {
+			return
+		}
+		if c := asn.Color[v]; c < 0 || c >= asn.K {
+			err = fmt.Errorf("regalloc: v%d has color %d outside [0,%d)", v, c, asn.K)
+		}
+	})
+	if err != nil {
+		return err
+	}
+
+	info := liveness.Compute(f)
+	g := Build(f, info)
+	for u := 0; u < g.N; u++ {
+		if !used.Has(u) {
+			continue
+		}
+		for _, v := range g.AdjList[u] {
+			if v > u && used.Has(v) && asn.Color[u] == asn.Color[v] {
+				return fmt.Errorf("regalloc: interfering v%d and v%d share R%d", u, v, asn.Color[u])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package regalloc
+
+import (
+	"diffra/internal/ir"
+)
+
+// SlotAssigner hands out stack slots for spilled live ranges.
+type SlotAssigner struct {
+	next  int64
+	slots map[ir.Reg]int64
+}
+
+// NewSlotAssigner creates an empty slot table.
+func NewSlotAssigner() *SlotAssigner {
+	return &SlotAssigner{slots: make(map[ir.Reg]int64)}
+}
+
+// SlotOf returns the slot of v, allocating one on first request.
+func (s *SlotAssigner) SlotOf(v ir.Reg) int64 {
+	if off, ok := s.slots[v]; ok {
+		return off
+	}
+	off := s.next
+	s.next += 4
+	s.slots[v] = off
+	return off
+}
+
+// RewriteSpills rewrites f so that every register in spilled lives in
+// memory: each use u of a spilled v becomes a fresh temporary defined
+// by spill_load immediately before u, and each def becomes a fresh
+// temporary stored by spill_store immediately after. The returned map
+// gives, for every fresh temporary, the original register it was
+// split from; allocators mark these temporaries unspillable (their
+// live ranges are already minimal).
+//
+// The count of inserted instructions is returned for spill accounting.
+func RewriteSpills(f *ir.Func, spilled map[ir.Reg]bool, slots *SlotAssigner) (origin map[ir.Reg]ir.Reg, inserted int) {
+	origin = make(map[ir.Reg]ir.Reg)
+	for _, b := range f.Blocks {
+		out := make([]*ir.Instr, 0, len(b.Instrs))
+		for _, in := range b.Instrs {
+			var loads, stores []*ir.Instr
+			for i, u := range in.Uses {
+				if !spilled[u] {
+					continue
+				}
+				t := f.NewReg()
+				origin[t] = u
+				loads = append(loads, &ir.Instr{
+					Op: ir.OpSpillLoad, Defs: []ir.Reg{t}, Imm: slots.SlotOf(u), Imm2: -1,
+				})
+				in.Uses[i] = t
+			}
+			for i, d := range in.Defs {
+				if !spilled[d] {
+					continue
+				}
+				t := f.NewReg()
+				origin[t] = d
+				stores = append(stores, &ir.Instr{
+					Op: ir.OpSpillStore, Uses: []ir.Reg{t}, Imm: slots.SlotOf(d), Imm2: -1,
+				})
+				in.Defs[i] = t
+			}
+			out = append(out, loads...)
+			out = append(out, in)
+			out = append(out, stores...)
+			inserted += len(loads) + len(stores)
+		}
+		b.Instrs = out
+	}
+	// A spilled parameter becomes a stack-passed argument: it is
+	// removed from the register parameter list and its value lives in
+	// its spill slot from function entry (reloads at uses were inserted
+	// by the loop above). This mirrors real calling conventions, where
+	// arguments beyond the register file arrive in memory, and keeps
+	// the entry parameter clique colorable.
+	kept := f.Params[:0]
+	for _, p := range f.Params {
+		if spilled[p] {
+			slots.SlotOf(p) // ensure the slot exists for the caller's convention
+			continue
+		}
+		kept = append(kept, p)
+	}
+	f.Params = kept
+	return origin, inserted
+}

@@ -1,0 +1,228 @@
+// Package remap implements differential remapping (paper §5), the
+// post-pass approach: after any register allocator has assigned
+// machine registers, permute the register numbers to minimize the
+// differential-encoding cost on the register adjacency graph. A
+// permutation never invalidates the allocation — co-live ranges keep
+// distinct registers — so remapping composes with every allocator.
+//
+// Two searches are provided, matching the paper: exhaustive over all
+// RegN! permutations (tractable for small RegN) and a greedy
+// steepest-descent over pairwise swaps restarted from many initial
+// register vectors (the paper uses 1000).
+package remap
+
+import (
+	"math/rand"
+
+	"diffra/internal/adjacency"
+)
+
+// Options configures the search.
+type Options struct {
+	RegN  int
+	DiffN int
+	// Pinned registers keep their numbers (special-purpose registers
+	// and calling-convention registers repaired separately, §9.2–9.3).
+	Pinned map[int]bool
+	// Restarts is the number of random initial register vectors for
+	// the greedy search (0 means the paper's 1000).
+	Restarts int
+	// Seed makes the random restarts deterministic.
+	Seed int64
+}
+
+// Result is the outcome of a remapping search.
+type Result struct {
+	// Perm maps old register number -> new register number.
+	Perm []int
+	// Cost is the adjacency-graph cost of Perm.
+	Cost float64
+	// Evaluated counts cost evaluations performed (search effort).
+	Evaluated int
+}
+
+// Apply returns the remapped register for old register r.
+func (r *Result) Apply(reg int) int { return r.Perm[reg] }
+
+// Identity returns the identity permutation over n registers.
+func Identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func permCost(g *adjacency.Graph, perm []int, regN, diffN int) float64 {
+	return g.Cost(func(node int) int {
+		if node < len(perm) {
+			return perm[node]
+		}
+		return -1
+	}, regN, diffN)
+}
+
+// Exhaustive tries every permutation of the non-pinned registers and
+// returns the best. Complexity O(RegN^2 * RegN!) as derived in §5;
+// callers should keep RegN small (<= ~9).
+func Exhaustive(g *adjacency.Graph, opts Options) *Result {
+	free := freeRegs(opts)
+	perm := Identity(opts.RegN)
+	best := &Result{Perm: append([]int(nil), perm...), Cost: permCost(g, perm, opts.RegN, opts.DiffN), Evaluated: 1}
+
+	// Heap's algorithm over the values assigned to free positions.
+	vals := make([]int, len(free))
+	for i, f := range free {
+		vals[i] = perm[f]
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			for i, f := range free {
+				perm[f] = vals[i]
+			}
+			c := permCost(g, perm, opts.RegN, opts.DiffN)
+			best.Evaluated++
+			if c < best.Cost {
+				best.Cost = c
+				copy(best.Perm, perm)
+			}
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				vals[i], vals[k-1] = vals[k-1], vals[i]
+			} else {
+				vals[0], vals[k-1] = vals[k-1], vals[0]
+			}
+		}
+	}
+	if len(vals) > 0 {
+		rec(len(vals))
+	}
+	return best
+}
+
+// Greedy runs the paper's polynomial heuristic (Figure 7): from each
+// initial register vector, repeatedly apply the pairwise swap with the
+// largest cost reduction until a local minimum, keeping the best
+// solution over all restarts. The first restart always begins from the
+// identity vector (the allocator's own numbering).
+//
+// Swap candidates are scored incrementally: a swap of the register
+// numbers of nodes i and j only changes the status of edges incident
+// to i or j, so each probe costs O(deg(i)+deg(j)) instead of O(E).
+func Greedy(g *adjacency.Graph, opts Options) *Result {
+	restarts := opts.Restarts
+	if restarts == 0 {
+		restarts = 1000
+	}
+	free := freeRegs(opts)
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	// Incidence lists: edges touching each node.
+	type edge struct {
+		from, to int
+		w        float64
+	}
+	incident := make([][]edge, opts.RegN)
+	g.Edges(func(from, to int, w float64) {
+		if from >= opts.RegN || to >= opts.RegN {
+			return
+		}
+		e := edge{from, to, w}
+		incident[from] = append(incident[from], e)
+		if to != from {
+			incident[to] = append(incident[to], e)
+		}
+	})
+	// incidentCost sums violated weight over edges touching i or j
+	// under perm (edges touching both are counted once via the from
+	// side de-duplication below).
+	incidentCost := func(perm []int, i, j int) float64 {
+		c := 0.0
+		for _, e := range incident[i] {
+			if !adjacency.Satisfied(perm[e.from], perm[e.to], opts.RegN, opts.DiffN) {
+				c += e.w
+			}
+		}
+		for _, e := range incident[j] {
+			if e.from == i || e.to == i {
+				continue // already counted
+			}
+			if !adjacency.Satisfied(perm[e.from], perm[e.to], opts.RegN, opts.DiffN) {
+				c += e.w
+			}
+		}
+		return c
+	}
+
+	best := &Result{Cost: -1}
+	for r := 0; r < restarts; r++ {
+		perm := Identity(opts.RegN)
+		if r > 0 {
+			// Random shuffle of the free positions' values.
+			for i := len(free) - 1; i > 0; i-- {
+				j := rng.Intn(i + 1)
+				perm[free[i]], perm[free[j]] = perm[free[j]], perm[free[i]]
+			}
+		}
+		cost := permCost(g, perm, opts.RegN, opts.DiffN)
+		best.Evaluated++
+		// Steepest descent on pairwise swaps with delta scoring.
+		for {
+			bestI, bestJ := -1, -1
+			bestDelta := 0.0
+			for ii := 0; ii < len(free); ii++ {
+				for jj := ii + 1; jj < len(free); jj++ {
+					i, j := free[ii], free[jj]
+					before := incidentCost(perm, i, j)
+					perm[i], perm[j] = perm[j], perm[i]
+					after := incidentCost(perm, i, j)
+					perm[i], perm[j] = perm[j], perm[i]
+					best.Evaluated++
+					if d := after - before; d < bestDelta {
+						bestDelta, bestI, bestJ = d, i, j
+					}
+				}
+			}
+			if bestI < 0 {
+				break // local minimum
+			}
+			perm[bestI], perm[bestJ] = perm[bestJ], perm[bestI]
+			cost += bestDelta
+		}
+		// Recompute exactly: delta accumulation may drift in floating
+		// point over long descents.
+		cost = permCost(g, perm, opts.RegN, opts.DiffN)
+		if best.Cost < 0 || cost < best.Cost {
+			best.Cost = cost
+			best.Perm = append([]int(nil), perm...)
+		}
+		if best.Cost == 0 {
+			break // cannot improve further
+		}
+	}
+	return best
+}
+
+// Auto picks exhaustive search for small register files and the greedy
+// multi-start heuristic otherwise, mirroring the paper's guidance that
+// exhaustive search "is actually tractable for small RegN values".
+func Auto(g *adjacency.Graph, opts Options) *Result {
+	if len(freeRegs(opts)) <= 7 {
+		return Exhaustive(g, opts)
+	}
+	return Greedy(g, opts)
+}
+
+func freeRegs(opts Options) []int {
+	var free []int
+	for r := 0; r < opts.RegN; r++ {
+		if !opts.Pinned[r] {
+			free = append(free, r)
+		}
+	}
+	return free
+}

@@ -1,0 +1,161 @@
+package remap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"diffra/internal/adjacency"
+	"diffra/internal/diffenc"
+	"diffra/internal/ir"
+)
+
+// figure6Graph mimics the paper's Figure 6: a small register adjacency
+// graph where the identity numbering pays but a permutation reaches
+// cost 0 (RegN=3, DiffN=2).
+func figure6Graph() *adjacency.Graph {
+	g := adjacency.New(3)
+	// Edges chosen so identity (0,1,2) violates condition (3):
+	// 1->0 has diff 2 (violation), 2->1 has diff 2 (violation).
+	g.AddWeight(1, 0, 3)
+	g.AddWeight(2, 1, 2)
+	return g
+}
+
+func costOf(g *adjacency.Graph, perm []int, regN, diffN int) float64 {
+	return g.Cost(func(n int) int { return perm[n] }, regN, diffN)
+}
+
+func TestExhaustiveFindsZeroCost(t *testing.T) {
+	g := figure6Graph()
+	opts := Options{RegN: 3, DiffN: 2}
+	id := Identity(3)
+	if costOf(g, id, 3, 2) == 0 {
+		t.Fatal("test premise broken: identity should pay")
+	}
+	res := Exhaustive(g, opts)
+	if res.Cost != 0 {
+		t.Fatalf("exhaustive cost = %v, want 0 (perm %v)", res.Cost, res.Perm)
+	}
+	if costOf(g, res.Perm, 3, 2) != res.Cost {
+		t.Error("reported cost mismatch")
+	}
+}
+
+func TestGreedyMatchesExhaustiveOnSmallGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		regN := 3 + rng.Intn(4) // 3..6
+		diffN := 1 + rng.Intn(regN)
+		g := adjacency.New(regN)
+		for e := 0; e < 2+rng.Intn(8); e++ {
+			g.AddWeight(rng.Intn(regN), rng.Intn(regN), float64(1+rng.Intn(5)))
+		}
+		ex := Exhaustive(g, Options{RegN: regN, DiffN: diffN})
+		gr := Greedy(g, Options{RegN: regN, DiffN: diffN, Restarts: 200, Seed: int64(trial)})
+		if gr.Cost < ex.Cost {
+			t.Fatalf("trial %d: greedy %v beat exhaustive %v — exhaustive broken", trial, gr.Cost, ex.Cost)
+		}
+		// With 200 restarts on <= 6 registers greedy should reach the
+		// optimum on these tiny instances.
+		if gr.Cost > ex.Cost {
+			t.Errorf("trial %d (RegN=%d DiffN=%d): greedy %v > optimal %v", trial, regN, diffN, gr.Cost, ex.Cost)
+		}
+	}
+}
+
+func TestGreedyNeverWorseThanIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		regN := 8 + rng.Intn(8)
+		g := adjacency.New(regN)
+		for e := 0; e < 30; e++ {
+			g.AddWeight(rng.Intn(regN), rng.Intn(regN), float64(1+rng.Intn(9)))
+		}
+		opts := Options{RegN: regN, DiffN: regN / 2, Restarts: 10, Seed: 1}
+		idCost := costOf(g, Identity(regN), regN, regN/2)
+		res := Greedy(g, opts)
+		if res.Cost > idCost {
+			t.Errorf("trial %d: greedy %v worse than identity %v", trial, res.Cost, idCost)
+		}
+		assertPermutation(t, res.Perm)
+	}
+}
+
+func TestPinnedRegistersStay(t *testing.T) {
+	g := figure6Graph()
+	opts := Options{RegN: 3, DiffN: 2, Pinned: map[int]bool{0: true}}
+	for _, res := range []*Result{Exhaustive(g, opts), Greedy(g, Options{RegN: 3, DiffN: 2, Pinned: map[int]bool{0: true}, Restarts: 50})} {
+		if res.Perm[0] != 0 {
+			t.Errorf("pinned register moved: %v", res.Perm)
+		}
+		assertPermutation(t, res.Perm)
+	}
+}
+
+func TestAutoSelectsStrategy(t *testing.T) {
+	g := figure6Graph()
+	res := Auto(g, Options{RegN: 3, DiffN: 2})
+	if res.Cost != 0 {
+		t.Errorf("auto on small graph should be exhaustive-optimal, cost %v", res.Cost)
+	}
+	// Larger graph: must still return a valid permutation quickly.
+	big := adjacency.New(16)
+	rng := rand.New(rand.NewSource(2))
+	for e := 0; e < 60; e++ {
+		big.AddWeight(rng.Intn(16), rng.Intn(16), 1)
+	}
+	res = Auto(big, Options{RegN: 16, DiffN: 8, Restarts: 20})
+	assertPermutation(t, res.Perm)
+}
+
+func assertPermutation(t *testing.T, perm []int) {
+	t.Helper()
+	s := append([]int(nil), perm...)
+	sort.Ints(s)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+	}
+}
+
+// TestRemapComposesWithEncoder verifies the §5 pipeline end to end:
+// allocate (here: identity numbering of a hand-written register
+// program), build the register adjacency graph, remap, and confirm the
+// true encoder cost did not increase and the encoding still decodes.
+func TestRemapComposesWithEncoder(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0, v3) {
+entry:
+  v5 = add v0, v3
+  v1 = add v5, v0
+  v6 = add v1, v3
+  v2 = add v6, v5
+  v4 = add v2, v1
+  ret v4
+}
+`)
+	const regN, diffN = 8, 2
+	regOf := func(r ir.Reg) int { return int(r) }
+	cfg := diffenc.Config{RegN: regN, DiffN: diffN}
+
+	before, err := diffenc.Encode(f, regOf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := adjacency.BuildReg(f, regOf, regN)
+	res := Greedy(g, Options{RegN: regN, DiffN: diffN, Restarts: 100, Seed: 3})
+
+	remapped := func(r ir.Reg) int { return res.Perm[regOf(r)] }
+	after, err := diffenc.Encode(f, remapped, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := diffenc.Check(f, remapped, cfg, after); err != nil {
+		t.Fatalf("remapped encoding undecodable: %v", err)
+	}
+	if after.Cost() > before.Cost() {
+		t.Errorf("remapping increased true cost: %d -> %d", before.Cost(), after.Cost())
+	}
+}

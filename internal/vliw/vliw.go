@@ -1,0 +1,80 @@
+// Package vliw describes the high-performance machine of the paper's
+// §10.2 evaluation: a VLIW with 4 functional units, 2 memory ports,
+// 32 architected and 64 physical registers, running
+// modulo-scheduled innermost loops.
+package vliw
+
+// Class is a functional-unit class.
+type Class uint8
+
+const (
+	// ALU executes arithmetic, logic, compare and multiply operations.
+	ALU Class = iota
+	// MEM executes loads and stores through a memory port.
+	MEM
+	numClasses
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ALU:
+		return "alu"
+	case MEM:
+		return "mem"
+	}
+	return "?"
+}
+
+// OpKind is the operation repertoire of loop bodies.
+type OpKind uint8
+
+const (
+	KindAdd OpKind = iota // 1-cycle ALU
+	KindMul               // multi-cycle ALU
+	KindDiv               // long-latency ALU
+	KindLoad
+	KindStore
+)
+
+// Machine is the VLIW configuration.
+type Machine struct {
+	// Slots is the number of issue slots per class per cycle.
+	Slots [numClasses]int
+	// Lat is the result latency per op kind.
+	Lat map[OpKind]int
+	// ArchRegs is the number of architected registers visible through
+	// the ISA (32 in the paper); PhysRegs the physical registers (64).
+	ArchRegs, PhysRegs int
+}
+
+// Default returns the paper's configuration: 4 functional units of
+// which 2 are memory ports, 32 architected / 64 physical registers.
+func Default() Machine {
+	return Machine{
+		Slots:    [numClasses]int{ALU: 4, MEM: 2},
+		Lat:      map[OpKind]int{KindAdd: 1, KindMul: 3, KindDiv: 8, KindLoad: 2, KindStore: 1},
+		ArchRegs: 32,
+		PhysRegs: 64,
+	}
+}
+
+// ClassOf maps an op kind to its functional-unit class.
+func ClassOf(k OpKind) Class {
+	switch k {
+	case KindLoad, KindStore:
+		return MEM
+	}
+	return ALU
+}
+
+// Latency returns the result latency of kind k.
+func (m Machine) Latency(k OpKind) int {
+	if l, ok := m.Lat[k]; ok {
+		return l
+	}
+	return 1
+}
+
+// SlotsOf returns the per-cycle issue slots of class c.
+func (m Machine) SlotsOf(c Class) int { return m.Slots[c] }

@@ -1,0 +1,50 @@
+package vliw
+
+import "testing"
+
+func TestDefaultMatchesPaper(t *testing.T) {
+	m := Default()
+	// §10.2: 4 functional units, 2 memory ports, 32 architected and 64
+	// physical registers.
+	if m.SlotsOf(ALU) != 4 || m.SlotsOf(MEM) != 2 {
+		t.Errorf("slots: alu=%d mem=%d", m.SlotsOf(ALU), m.SlotsOf(MEM))
+	}
+	if m.ArchRegs != 32 || m.PhysRegs != 64 {
+		t.Errorf("regs: %d/%d", m.ArchRegs, m.PhysRegs)
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	if ClassOf(KindLoad) != MEM || ClassOf(KindStore) != MEM {
+		t.Error("memory ops must use memory ports")
+	}
+	if ClassOf(KindAdd) != ALU || ClassOf(KindMul) != ALU || ClassOf(KindDiv) != ALU {
+		t.Error("arithmetic must use ALUs")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	m := Default()
+	if m.Latency(KindAdd) != 1 {
+		t.Errorf("add latency %d", m.Latency(KindAdd))
+	}
+	if m.Latency(KindMul) <= m.Latency(KindAdd) {
+		t.Error("mul should outlast add")
+	}
+	if m.Latency(KindLoad) <= m.Latency(KindStore) {
+		t.Error("load should outlast store")
+	}
+	// Unknown kinds default to 1.
+	if m.Latency(OpKind(200)) != 1 {
+		t.Error("unknown kind default latency")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ALU.String() != "alu" || MEM.String() != "mem" {
+		t.Error("class names")
+	}
+	if Class(9).String() != "?" {
+		t.Error("unknown class name")
+	}
+}

@@ -1,0 +1,584 @@
+// Package workloads supplies the benchmark inputs of the evaluation:
+// ten IR kernels named after and structurally mimicking the Mibench
+// programs the paper's §10.1 uses (control flow, memory access pattern
+// and register pressure are modeled at the IR level; see DESIGN.md's
+// substitution table), and a seeded generator reproducing the §10.2
+// population of SPEC2000-like innermost loops.
+//
+// The kernels are written the way an optimizing compiler would emit
+// them: loop-invariant constants are hoisted out of loops, which both
+// matches real code and keeps the constants live across the loop —
+// exactly the register pressure that makes an 8-register machine
+// spill.
+package workloads
+
+import (
+	"diffra/internal/ir"
+)
+
+// Kernel is one benchmark program with its input.
+type Kernel struct {
+	Name string
+	F    *ir.Func
+	Args []int64
+	Mem  map[int64]int64
+}
+
+// words lays out a word array at base.
+func words(m map[int64]int64, base int64, vals []int64) {
+	for i, v := range vals {
+		m[base+int64(i)*4] = v
+	}
+}
+
+func seq(n int, f func(i int) int64) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = f(i)
+	}
+	return out
+}
+
+// Kernels returns the benchmark suite. Trip counts are sized so the
+// full suite simulates in well under a second while still cycling the
+// caches.
+func Kernels() []Kernel {
+	return []Kernel{
+		crc32(), sha(), susan(), qsort(), dijkstra(),
+		bitcount(), basicmath(), fft(), stringsearch(), adpcm(),
+	}
+}
+
+// KernelByName finds a kernel, or nil.
+func KernelByName(name string) *Kernel {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			k := k
+			return &k
+		}
+	}
+	return nil
+}
+
+// crc32: bitwise CRC over a word stream — a tight dependent loop with
+// a data-dependent branch per bit.
+func crc32() Kernel {
+	f := ir.MustParse(`
+func crc32(v0, v1) {
+entry:
+  v2 = li -306674912   ; polynomial
+  v3 = li -1           ; crc
+  v4 = li 0            ; word index
+  v20 = li 1           ; const 1
+  v21 = li 8           ; bits per step
+  v22 = li 0           ; const 0
+  v23 = li 4           ; word size
+  jmp outer
+outer:
+  blt v4, v1 -> load, done
+load:
+  v5 = load v0, 0
+  v3 = xor v3, v5
+  v7 = li 0
+  jmp bits
+bits:
+  blt v7, v21 -> bitbody, next
+bitbody:
+  v10 = and v3, v20
+  v11 = shr v3, v20
+  beq v10, v22 -> even, odd
+odd:
+  v3 = xor v11, v2
+  jmp bitnext
+even:
+  v3 = mov v11
+  jmp bitnext
+bitnext:
+  v7 = add v7, v20
+  jmp bits
+next:
+  v0 = add v0, v23
+  v4 = add v4, v20
+  jmp outer
+done:
+  ret v3
+}
+`)
+	const n = 64
+	mem := map[int64]int64{}
+	words(mem, 4096, seq(n, func(i int) int64 { return int64(i*2654435761 + 12345) }))
+	return Kernel{Name: "crc32", F: f, Args: []int64{4096, n}, Mem: mem}
+}
+
+// sha: a SHA1-style round with five chaining variables plus message
+// word — high loop-carried pressure and plenty of moves (rotation of
+// the chaining variables), the coalescer's natural prey.
+func sha() Kernel {
+	f := ir.MustParse(`
+func sha(v0, v1) {
+entry:
+  v2 = li 1732584193   ; a
+  v3 = li -271733879   ; b
+  v4 = li -1732584194  ; c
+  v5 = li 271733878    ; d
+  v6 = li -1009589776  ; e
+  v7 = li 0            ; i
+  v16 = li 1518500249  ; round constant K
+  v17 = li 30          ; rotate amount
+  v18 = li 4           ; word size
+  v19 = li 1           ; const 1
+  v9 = li 5            ; shift amount
+  jmp head
+head:
+  blt v7, v1 -> body, out
+body:
+  v8 = load v0, 0
+  v10 = shl v2, v9
+  v11 = and v3, v4
+  v12 = not v3
+  v13 = and v12, v5
+  v14 = or v11, v13
+  v15 = add v10, v14
+  v15 = add v15, v6
+  v15 = add v15, v8
+  v15 = add v15, v16
+  v6 = mov v5
+  v5 = mov v4
+  v4 = shl v3, v17
+  v3 = mov v2
+  v2 = mov v15
+  v0 = add v0, v18
+  v7 = add v7, v19
+  jmp head
+out:
+  v20 = add v2, v3
+  v20 = add v20, v4
+  v20 = add v20, v5
+  v20 = add v20, v6
+  ret v20
+}
+`)
+	const n = 80
+	mem := map[int64]int64{}
+	words(mem, 8192, seq(n, func(i int) int64 { return int64(i*i*31 + 7) }))
+	return Kernel{Name: "sha", F: f, Args: []int64{8192, n}, Mem: mem}
+}
+
+// susan: 3x3 neighborhood smoothing — nine loads live at once, the
+// highest-pressure kernel of the suite (image row stride 64 bytes).
+func susan() Kernel {
+	f := ir.MustParse(`
+func susan(v0, v1, v2) {
+entry:
+  v3 = li 0    ; i
+  v19 = li 0   ; checksum
+  v15 = li 3   ; shift
+  v16 = li 4   ; word size
+  v17 = li 1   ; const 1
+  jmp head
+head:
+  blt v3, v2 -> body, out
+body:
+  v4 = load v0, 0
+  v5 = load v0, 4
+  v6 = load v0, 8
+  v7 = load v0, 64
+  v8 = load v0, 68
+  v9 = load v0, 72
+  v10 = load v0, 128
+  v11 = load v0, 132
+  v12 = load v0, 136
+  v13 = add v4, v5
+  v13 = add v13, v6
+  v14 = add v8, v9
+  v14 = add v14, v10
+  v13 = add v13, v7
+  v14 = add v14, v11
+  v13 = add v13, v14
+  v13 = add v13, v12
+  v13 = shr v13, v15
+  store v13, v1, 0
+  v19 = add v19, v13
+  v0 = add v0, v16
+  v1 = add v1, v16
+  v3 = add v3, v17
+  jmp head
+out:
+  ret v19
+}
+`)
+	const n = 48
+	mem := map[int64]int64{}
+	words(mem, 16384, seq(n+40, func(i int) int64 { return int64((i*37)%251) * 8 }))
+	return Kernel{Name: "susan", F: f, Args: []int64{16384, 32768, n}, Mem: mem}
+}
+
+// qsort: the partition scan of quicksort — pointer chasing with a
+// compare-and-swap pattern and two index variables.
+func qsort() Kernel {
+	f := ir.MustParse(`
+func qsort(v0, v1) {
+entry:
+  v2 = li 1        ; i
+  v3 = li 0        ; store index
+  v4 = load v0, 0  ; pivot
+  v5 = li 2        ; word shift
+  v9 = li 1        ; const 1
+  jmp head
+head:
+  blt v2, v1 -> body, out
+body:
+  v6 = shl v2, v5
+  v7 = add v0, v6
+  v8 = load v7, 0
+  blt v8, v4 -> small, next
+small:
+  v3 = add v3, v9
+  v10 = shl v3, v5
+  v11 = add v0, v10
+  v12 = load v11, 0
+  store v8, v11, 0
+  store v12, v7, 0
+  jmp next
+next:
+  v2 = add v2, v9
+  jmp head
+out:
+  v15 = shl v3, v5
+  v16 = add v0, v15
+  v17 = load v16, 0
+  v18 = add v17, v3
+  ret v18
+}
+`)
+	const n = 64
+	mem := map[int64]int64{}
+	words(mem, 24576, seq(n, func(i int) int64 { return int64((i*97+13)%128) - 64 }))
+	return Kernel{Name: "qsort", F: f, Args: []int64{24576, n}, Mem: mem}
+}
+
+// dijkstra: repeated minimum scans with relaxations over a distance
+// array — the O(n^2) inner structure of Mibench's dijkstra.
+func dijkstra() Kernel {
+	f := ir.MustParse(`
+func dijkstra(v0, v1) {
+entry:
+  v2 = li 0   ; outer k
+  v3 = li 0   ; accumulated distance
+  v7 = li 2   ; word shift
+  v11 = li 1  ; const 1
+  v16 = li 7  ; edge weight
+  jmp outer
+outer:
+  blt v2, v1 -> scaninit, out
+scaninit:
+  v4 = load v0, 0
+  v5 = li 0
+  v6 = li 1
+  jmp scan
+scan:
+  blt v6, v1 -> scanbody, relax
+scanbody:
+  v8 = shl v6, v7
+  v9 = add v0, v8
+  v10 = load v9, 0
+  blt v10, v4 -> newmin, scannext
+newmin:
+  v4 = mov v10
+  v5 = mov v6
+  jmp scannext
+scannext:
+  v6 = add v6, v11
+  jmp scan
+relax:
+  v13 = shl v5, v7
+  v14 = add v0, v13
+  v15 = add v4, v2
+  v15 = add v15, v16
+  store v15, v14, 0
+  v3 = add v3, v4
+  v2 = add v2, v11
+  jmp outer
+out:
+  ret v3
+}
+`)
+	const n = 24
+	mem := map[int64]int64{}
+	words(mem, 40960, seq(n, func(i int) int64 { return int64((i*53+11)%97) + 1 }))
+	return Kernel{Name: "dijkstra", F: f, Args: []int64{40960, n}, Mem: mem}
+}
+
+// bitcount: the parallel popcount with all divide-and-conquer masks
+// held live across the loop — classic constant-pressure kernel.
+func bitcount() Kernel {
+	f := ir.MustParse(`
+func bitcount(v0, v1) {
+entry:
+  v2 = li 6148914691236517205  ; 0x5555... mask
+  v3 = li 3689348814741910323  ; 0x3333... mask
+  v4 = li 1085102592571150095  ; 0x0f0f... mask
+  v5 = li 71777214294589695    ; 0x00ff... mask
+  v6 = li 0                    ; total
+  v7 = li 0                    ; i
+  v9 = li 1
+  v12 = li 2
+  v14 = li 4
+  v16 = li 8
+  v18 = li 255
+  jmp head
+head:
+  blt v7, v1 -> body, out
+body:
+  v8 = load v0, 0
+  v10 = shr v8, v9
+  v10 = and v10, v2
+  v8 = sub v8, v10
+  v11 = and v8, v3
+  v13 = shr v8, v12
+  v13 = and v13, v3
+  v8 = add v11, v13
+  v15 = shr v8, v14
+  v8 = add v8, v15
+  v8 = and v8, v4
+  v17 = shr v8, v16
+  v8 = add v8, v17
+  v8 = and v8, v5
+  v8 = and v8, v18
+  v6 = add v6, v8
+  v0 = add v0, v14
+  v7 = add v7, v9
+  jmp head
+out:
+  ret v6
+}
+`)
+	const n = 96
+	mem := map[int64]int64{}
+	words(mem, 49152, seq(n, func(i int) int64 { return int64(i) * 2862933555777941757 }))
+	return Kernel{Name: "bitcount", F: f, Args: []int64{49152, n}, Mem: mem}
+}
+
+// basicmath: fixed-point polynomial evaluation plus a Newton iteration
+// for integer square root — many coefficients co-live.
+func basicmath() Kernel {
+	f := ir.MustParse(`
+func basicmath(v0, v1) {
+entry:
+  v2 = li 3    ; c3
+  v3 = li -7   ; c2
+  v4 = li 11   ; c1
+  v5 = li -13  ; c0
+  v6 = li 17   ; c4
+  v7 = li 0    ; acc
+  v8 = li 0    ; i
+  v11 = li 1
+  v13 = li 0
+  v14 = li 2
+  v18 = li 4
+  jmp head
+head:
+  blt v8, v1 -> body, out
+body:
+  v9 = load v0, 0
+  v10 = mul v9, v2
+  v10 = add v10, v3
+  v10 = mul v10, v9
+  v10 = add v10, v4
+  v10 = mul v10, v9
+  v10 = add v10, v5
+  v10 = mul v10, v9
+  v10 = add v10, v6
+  v12 = add v9, v11
+  blt v12, v13 -> skip, sqrt
+sqrt:
+  v15 = div v12, v14
+  v15 = add v15, v11
+  v16 = div v12, v15
+  v16 = add v16, v15
+  v16 = div v16, v14
+  v17 = div v12, v16
+  v17 = add v17, v16
+  v17 = div v17, v14
+  v10 = add v10, v17
+  jmp skip
+skip:
+  v7 = add v7, v10
+  v0 = add v0, v18
+  v8 = add v8, v11
+  jmp head
+out:
+  ret v7
+}
+`)
+	const n = 40
+	mem := map[int64]int64{}
+	words(mem, 57344, seq(n, func(i int) int64 { return int64(i*i + 3) }))
+	return Kernel{Name: "basicmath", F: f, Args: []int64{57344, n}, Mem: mem}
+}
+
+// fft: an integer butterfly pass — four loads, four multiplies and
+// four stores per iteration with both twiddle factors live.
+func fft() Kernel {
+	f := ir.MustParse(`
+func fft(v0, v1) {
+entry:
+  v2 = li 181   ; twiddle re
+  v3 = li 181   ; twiddle im
+  v4 = li 0     ; i
+  v5 = li 0     ; checksum
+  v16 = li 8    ; fixed-point shift
+  v21 = li 16   ; stride
+  v22 = li 1
+  jmp head
+head:
+  blt v4, v1 -> body, out
+body:
+  v6 = load v0, 0
+  v7 = load v0, 4
+  v8 = load v0, 8
+  v9 = load v0, 12
+  v10 = mul v8, v2
+  v11 = mul v9, v3
+  v12 = sub v10, v11
+  v13 = mul v8, v3
+  v14 = mul v9, v2
+  v15 = add v13, v14
+  v12 = shr v12, v16
+  v15 = shr v15, v16
+  v17 = add v6, v12
+  v18 = add v7, v15
+  v19 = sub v6, v12
+  v20 = sub v7, v15
+  store v17, v0, 0
+  store v18, v0, 4
+  store v19, v0, 8
+  store v20, v0, 12
+  v5 = add v5, v17
+  v5 = add v5, v20
+  v0 = add v0, v21
+  v4 = add v4, v22
+  jmp head
+out:
+  ret v5
+}
+`)
+	const n = 32
+	mem := map[int64]int64{}
+	words(mem, 65536, seq(n*4, func(i int) int64 { return int64((i*29)%511) - 255 }))
+	return Kernel{Name: "fft", F: f, Args: []int64{65536, n}, Mem: mem}
+}
+
+// stringsearch: naive text search counting matches — a two-level loop
+// whose inner comparison keeps text and pattern pointers, indices and
+// bounds live together.
+func stringsearch() Kernel {
+	f := ir.MustParse(`
+func stringsearch(v0, v1, v2, v3) {
+entry:
+  v4 = li 0        ; position
+  v5 = li 0        ; matches
+  v6 = sub v2, v3  ; last start
+  v8 = li 2        ; word shift
+  v16 = li 1
+  jmp outer
+outer:
+  ble v4, v6 -> inner_init, out
+inner_init:
+  v7 = li 0
+  jmp inner
+inner:
+  blt v7, v3 -> cmp, match
+cmp:
+  v9 = add v4, v7
+  v10 = shl v9, v8
+  v11 = add v0, v10
+  v12 = load v11, 0
+  v13 = shl v7, v8
+  v14 = add v1, v13
+  v15 = load v14, 0
+  beq v12, v15 -> advance, nextpos
+advance:
+  v7 = add v7, v16
+  jmp inner
+match:
+  v5 = add v5, v16
+  jmp nextpos
+nextpos:
+  v4 = add v4, v16
+  jmp outer
+out:
+  ret v5
+}
+`)
+	const n, m = 48, 3
+	mem := map[int64]int64{}
+	text := seq(n, func(i int) int64 { return int64(i % 5) })
+	words(mem, 73728, text)
+	words(mem, 81920, []int64{1, 2, 3})
+	return Kernel{Name: "stringsearch", F: f, Args: []int64{73728, 81920, n, m}, Mem: mem}
+}
+
+// adpcm: the ADPCM decoder step — predictor value, quantizer step and
+// index update with clamping branches.
+func adpcm() Kernel {
+	f := ir.MustParse(`
+func adpcm(v0, v1) {
+entry:
+  v2 = li 0     ; predicted value
+  v3 = li 16    ; step
+  v4 = li 0     ; checksum
+  v5 = li 0     ; i
+  v7 = li 7     ; delta mask
+  v9 = li 3     ; step shift
+  v12 = li 2
+  v15 = li 8    ; sign bit
+  v17 = li 0
+  v18 = li 9    ; step multiplier
+  v21 = li 2048 ; step clamp
+  v22 = li 1
+  v23 = li 4
+  jmp head
+head:
+  blt v5, v1 -> body, out
+body:
+  v6 = load v0, 0
+  v8 = and v6, v7
+  v10 = shr v3, v9
+  v11 = mul v3, v8
+  v13 = shr v11, v12
+  v14 = add v10, v13
+  v16 = and v6, v15
+  beq v16, v17 -> pos, neg
+neg:
+  v2 = sub v2, v14
+  jmp step
+pos:
+  v2 = add v2, v14
+  jmp step
+step:
+  v19 = mul v3, v18
+  v3 = shr v19, v9
+  ble v3, v21 -> clampdone, clamp
+clamp:
+  v3 = mov v21
+  jmp clampdone
+clampdone:
+  ble v3, v22 -> fixmin, accounting
+fixmin:
+  v3 = li 16
+  jmp accounting
+accounting:
+  v4 = add v4, v2
+  v0 = add v0, v23
+  v5 = add v5, v22
+  jmp head
+out:
+  ret v4
+}
+`)
+	const n = 72
+	mem := map[int64]int64{}
+	words(mem, 90112, seq(n, func(i int) int64 { return int64((i*7 + 3) % 16) }))
+	return Kernel{Name: "adpcm", F: f, Args: []int64{90112, n}, Mem: mem}
+}

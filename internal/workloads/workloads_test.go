@@ -1,0 +1,208 @@
+package workloads
+
+import (
+	"testing"
+
+	"diffra/internal/irc"
+	"diffra/internal/liveness"
+	"diffra/internal/pipeline"
+	"diffra/internal/regalloc"
+	"diffra/internal/vliw"
+)
+
+func TestKernelsParseAndVerify(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 10 {
+		t.Fatalf("%d kernels, want 10 (the paper's Mibench subset)", len(ks))
+	}
+	seen := map[string]bool{}
+	for _, k := range ks {
+		if seen[k.Name] {
+			t.Errorf("duplicate kernel %s", k.Name)
+		}
+		seen[k.Name] = true
+		if err := k.F.Verify(); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+		if len(k.Args) != len(k.F.Params) {
+			t.Errorf("%s: %d args for %d params", k.Name, len(k.Args), len(k.F.Params))
+		}
+	}
+}
+
+func TestKernelByName(t *testing.T) {
+	if KernelByName("sha") == nil {
+		t.Error("sha missing")
+	}
+	if KernelByName("nope") != nil {
+		t.Error("phantom kernel")
+	}
+}
+
+func TestKernelsExecuteDeterministically(t *testing.T) {
+	m, err := pipeline.New(pipeline.LowEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kernels() {
+		r1, st, err := m.Run(k.F, nil, pipeline.RunOptions{Args: k.Args, Mem: k.Mem})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		r2, _, err := m.Run(k.F, nil, pipeline.RunOptions{Args: k.Args, Mem: k.Mem})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if r1 != r2 {
+			t.Errorf("%s: nondeterministic result %d vs %d", k.Name, r1, r2)
+		}
+		if st.Instrs < 100 {
+			t.Errorf("%s executes only %d instructions; too trivial to measure", k.Name, st.Instrs)
+		}
+		if st.Instrs > 2_000_000 {
+			t.Errorf("%s executes %d instructions; too slow for the suite", k.Name, st.Instrs)
+		}
+	}
+}
+
+// TestKernelsAllocatedSemantics is the suite's end-to-end guard: every
+// kernel computes the same value through registers allocated at K=8
+// (the paper's baseline) and K=12 (the differential configuration) as
+// through the virtual-register reference.
+func TestKernelsAllocatedSemantics(t *testing.T) {
+	m, err := pipeline.New(pipeline.LowEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kernels() {
+		want, _, err := m.Run(k.F, nil, pipeline.RunOptions{Args: k.Args, Mem: k.Mem})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		for _, kk := range []int{8, 12} {
+			out, asn, err := irc.Allocate(k.F, irc.Options{K: kk})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", k.Name, kk, err)
+			}
+			if err := regalloc.Verify(out, asn); err != nil {
+				t.Fatalf("%s K=%d: %v", k.Name, kk, err)
+			}
+			got, _, err := m.Run(out, asn, pipeline.RunOptions{Args: k.Args, OrigParams: k.F.Params, Mem: k.Mem})
+			if err != nil {
+				t.Fatalf("%s K=%d: %v", k.Name, kk, err)
+			}
+			if got != want {
+				t.Errorf("%s K=%d: allocated %d != reference %d", k.Name, kk, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelPressureProfile(t *testing.T) {
+	// The suite must stress an 8-register machine: most kernels above
+	// pressure 8, at least one well above 12.
+	over8, over12 := 0, 0
+	for _, k := range Kernels() {
+		p := liveness.Compute(k.F).MaxPressure()
+		if p > 8 {
+			over8++
+		}
+		if p > 12 {
+			over12++
+		}
+		t.Logf("%s: MaxPressure %d", k.Name, p)
+	}
+	if over8 < 5 {
+		t.Errorf("only %d kernels exceed pressure 8; suite too easy", over8)
+	}
+	if over12 < 1 {
+		t.Errorf("no kernel exceeds pressure 12")
+	}
+}
+
+func TestSPECLoopsDeterministic(t *testing.T) {
+	a := SPECLoops(1, 50)
+	b := SPECLoops(1, 50)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("wrong count")
+	}
+	for i := range a {
+		if len(a[i].Ops) != len(b[i].Ops) || a[i].Trip != b[i].Trip {
+			t.Fatalf("loop %d differs between equal seeds", i)
+		}
+	}
+	c := SPECLoops(2, 50)
+	same := true
+	for i := range a {
+		if len(a[i].Ops) != len(c[i].Ops) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical populations")
+	}
+}
+
+func TestSPECLoopsValid(t *testing.T) {
+	for i, l := range SPECLoops(7, 200) {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("loop %d: %v", i, err)
+		}
+		if l.Trip <= 0 {
+			t.Fatalf("loop %d: trip %d", i, l.Trip)
+		}
+	}
+}
+
+func TestPopulationMatchesPaperShape(t *testing.T) {
+	// §10.2: "about 11% require more than 32 registers" and those
+	// loops "account for a significant portion of the overall loop
+	// execution time (over 30%)". Check on a 400-loop sample.
+	loops := SPECLoops(42, 400)
+	st, err := PopulationStats(loops, vliw.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("population: %+v", st)
+	if st.HighShare < 0.07 || st.HighShare > 0.16 {
+		t.Errorf("high-pressure share %.3f outside [0.07, 0.16] (paper: ~0.11)", st.HighShare)
+	}
+	if st.HighCycleShare < 0.30 {
+		t.Errorf("high-pressure cycle share %.3f below 0.30", st.HighCycleShare)
+	}
+}
+
+// goldenReturns pins every kernel's reference output. A failure here
+// means kernel semantics changed — intended changes must update the
+// table (and invalidate any recorded experiment numbers).
+func TestKernelGoldenOutputs(t *testing.T) {
+	golden := map[string]int64{
+		"crc32":        7240217892303471761,
+		"sha":          8262749236042211867,
+		"susan":        53988,
+		"qsort":        -47,
+		"dijkstra":     606,
+		"bitcount":     773,
+		"basicmath":    78501446436905,
+		"fft":          1080863910568918509,
+		"stringsearch": 9,
+		"adpcm":        11639,
+	}
+	m, err := pipeline.New(pipeline.LowEnd())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kernels() {
+		got, _, err := m.Run(k.F, nil, pipeline.RunOptions{Args: k.Args, Mem: k.Mem})
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		want, ok := golden[k.Name]
+		if !ok {
+			t.Fatalf("%s missing from golden table", k.Name)
+		}
+		if got != want {
+			t.Errorf("%s: output %d, golden %d", k.Name, got, want)
+		}
+	}
+}

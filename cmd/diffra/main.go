@@ -5,29 +5,35 @@
 //
 //	diffra -scheme coalesce -regn 12 -diffn 8 program.ir
 //	diffra -scheme baseline -regn 8 -dump program.ir
+//	diffra -scheme coalesce -trace trace.json -explain-slr program.ir
 //
 // Schemes: baseline (iterated register coalescing, direct encoding),
 // remapping (§5), select (§6), ospill (optimal spilling, direct),
 // coalesce (§7).
+//
+// Observability flags: -trace FILE writes the compile span tree as
+// JSON lines (one span per line; "-" for stdout), -metrics prints the
+// process-wide metrics registry on exit, -explain-slr attributes every
+// set_last_reg repair to its cause (out-of-range difference or
+// control-flow join), and -cpuprofile/-memprofile write pprof
+// profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
-	"diffra/internal/adjacency"
-	"diffra/internal/diffcoal"
+	"diffra"
 	"diffra/internal/diffenc"
-	"diffra/internal/diffsel"
 	"diffra/internal/ir"
-	"diffra/internal/irc"
-	"diffra/internal/ospill"
 	"diffra/internal/pipeline"
-	"diffra/internal/regalloc"
-	"diffra/internal/remap"
+	"diffra/internal/telemetry"
 )
 
 func main() {
@@ -38,11 +44,43 @@ func main() {
 	dump := flag.Bool("dump", false, "print the allocated function")
 	listing := flag.Bool("listing", false, "print the encoded listing (differential schemes)")
 	runArgs := flag.String("run", "", "simulate with comma-separated integer arguments (e.g. -run 3,5)")
+	traceFile := flag.String("trace", "", "write the compile span tree as JSON lines to FILE (\"-\" for stdout)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry on exit")
+	explainSLR := flag.Bool("explain-slr", false, "attribute every set_last_reg repair to its cause")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diffra [flags] program.ir")
 		os.Exit(2)
 	}
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		var w io.Writer = os.Stdout
+		if *traceFile != "-" {
+			tf, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			defer tf.Close()
+			w = tf
+		}
+		tracer = telemetry.New(&telemetry.JSONSink{W: w})
+	}
+
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -52,74 +90,41 @@ func main() {
 		fatal(err)
 	}
 
-	var (
-		out *ir.Func
-		asn *regalloc.Assignment
-	)
-	differential := true
-	switch *scheme {
-	case "baseline":
-		differential = false
-		out, asn, err = irc.Allocate(f, irc.Options{K: *regN})
-	case "remapping":
-		out, asn, err = irc.Allocate(f, irc.Options{K: *regN})
-		if err == nil {
-			g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, *regN)
-			res := remap.Auto(g, remap.Options{RegN: *regN, DiffN: *diffN, Restarts: *restarts})
-			for v, c := range asn.Color {
-				if c >= 0 {
-					asn.Color[v] = res.Perm[c]
-				}
-			}
-		}
-	case "select":
-		out, asn, err = irc.Allocate(f, irc.Options{
-			K:             *regN,
-			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: *regN, DiffN: *diffN}),
-		})
-	case "ospill":
-		differential = false
-		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: *regN})
-	case "coalesce":
-		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: *regN, DiffN: *diffN})
-	default:
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
-	}
+	res, err := diffra.CompileFunc(f.Clone(), diffra.Options{
+		Scheme:    diffra.Scheme(*scheme),
+		RegN:      *regN,
+		DiffN:     *diffN,
+		Restarts:  *restarts,
+		Telemetry: tracer,
+	})
 	if err != nil {
 		fatal(err)
 	}
-	if err := regalloc.Verify(out, asn); err != nil {
-		fatal(err)
-	}
+	out, asn := res.F, res.Assignment
 
-	spills, total := regalloc.SpillStats(out)
 	fmt.Printf("function       %s\n", out.Name)
 	fmt.Printf("scheme         %s (RegN=%d DiffN=%d)\n", *scheme, *regN, *diffN)
-	fmt.Printf("instructions   %d\n", total)
-	fmt.Printf("spill instrs   %d (%.2f%%)\n", spills, pct(spills, total))
+	fmt.Printf("instructions   %d\n", res.Instrs)
+	fmt.Printf("spill instrs   %d (%.2f%%)\n", res.SpillInstrs, pct(res.SpillInstrs, res.Instrs))
 	fmt.Printf("spilled ranges %d\n", asn.SpilledVRegs)
 	fmt.Printf("moves removed  %d\n", asn.CoalescedMoves)
 
-	if differential {
-		cfg := diffenc.Config{RegN: *regN, DiffN: *diffN}
-		regOf := func(r ir.Reg) int { return asn.Color[r] }
-		enc, err := diffenc.Encode(out, regOf, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		if err := diffenc.Check(out, regOf, cfg, enc); err != nil {
-			fatal(err)
-		}
+	cfg := diffenc.Config{RegN: *regN, DiffN: *diffN}
+	regOf := func(r ir.Reg) int { return asn.Color[r] }
+	if enc := res.Encoding; enc != nil {
 		fmt.Printf("field width    %d bits (direct would need %d)\n", cfg.DiffW(), cfg.RegW())
-		fmt.Printf("set_last_reg   %d (%d join repairs), %.2f%% of code after insertion\n",
-			enc.Cost(), enc.JoinSets, pct(enc.Cost(), total+enc.Cost()))
+		fmt.Printf("set_last_reg   %d (%d out-of-range, %d join), %.2f%% of code after insertion\n",
+			enc.Cost(), enc.RangeSets(), enc.JoinSets, pct(enc.Cost(), res.Instrs))
+		if *explainSLR {
+			fmt.Println()
+			diffenc.Explain(os.Stdout, out.Name, enc)
+		}
 		if *listing {
 			fmt.Println()
-			fmt.Print(diffenc.Listing(out, regOf, cfg, enc))
+			fmt.Print(diffenc.AppliedListing(out, regOf, cfg, enc))
 		}
-		// Apply the plan so the dump and simulation below see the real
-		// instruction stream (set_last_reg included).
-		enc.ApplyToIR(out)
+	} else if *explainSLR {
+		fmt.Printf("set_last_reg   0 (scheme %q encodes directly)\n", *scheme)
 	}
 
 	if *dump {
@@ -153,10 +158,25 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Printf("simulated(%s)  = %d (reference %d)\n", *runArgs, got, want)
-		fmt.Printf("cycles         %d (CPI %.2f, %d instrs, %d spill ops, %d set_last_reg)\n",
-			st.Cycles, st.CPI(), st.Instrs, st.SpillOps, st.SetLastRegs)
+		fmt.Printf("%s\n", st.String())
 		if got != want {
 			fatal(fmt.Errorf("allocated run disagrees with reference"))
+		}
+	}
+
+	if *metrics {
+		fmt.Println()
+		telemetry.Default.WriteText(os.Stdout)
+	}
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fatal(err)
 		}
 	}
 }
@@ -181,6 +201,6 @@ func pct(a, b int) float64 {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "diffra:", err)
+	fmt.Fprintln(os.Stderr, "diffra:", strings.TrimPrefix(err.Error(), "diffra: "))
 	os.Exit(1)
 }

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	lowend [-restarts N] [-regn N] [-diffn N]
+//	lowend [-restarts N] [-regn N] [-diffn N] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +22,22 @@ func main() {
 	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "remapping restart count")
 	flag.IntVar(&cfg.RegN, "regn", cfg.RegN, "differential register count")
 	flag.IntVar(&cfg.DiffN, "diffn", cfg.DiffN, "encodable difference count")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of figures")
 	flag.Parse()
 
 	rep, err := experiments.RunLowEnd(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lowend:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "lowend:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	rep.WriteAll(os.Stdout)
 }

@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	vliwbench [-loops N] [-seed N]
+//	vliwbench [-loops N] [-seed N] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +22,22 @@ func main() {
 	flag.IntVar(&cfg.Loops, "loops", cfg.Loops, "loop population size")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "population seed")
 	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "kernel remapping restarts")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
 	flag.Parse()
 
 	rep, err := experiments.RunVLIW(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vliwbench:", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "vliwbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	rep.WriteAll(os.Stdout)
 }

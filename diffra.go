@@ -17,6 +17,7 @@ package diffra
 
 import (
 	"fmt"
+	"time"
 
 	"diffra/internal/adjacency"
 	"diffra/internal/diffcoal"
@@ -27,6 +28,7 @@ import (
 	"diffra/internal/ospill"
 	"diffra/internal/regalloc"
 	"diffra/internal/remap"
+	"diffra/internal/telemetry"
 )
 
 // Scheme selects a register allocation strategy.
@@ -55,14 +57,20 @@ type Options struct {
 	Scheme Scheme
 	// RegN is the number of addressable registers (default 12).
 	RegN int
-	// DiffN is the number of encodable differences (default 8).
-	// DiffN == RegN disables differential encoding (direct-equivalent).
+	// DiffN is the number of encodable differences (default
+	// min(8, RegN)). DiffN == RegN disables differential encoding
+	// (direct-equivalent); DiffN > RegN is rejected — the difference
+	// alphabet cannot exceed the register file (§2).
 	DiffN int
 	// Restarts bounds the remapping search (default 1000).
 	Restarts int
+	// Telemetry, when non-nil, receives one span tree per compiled
+	// function (compile → allocate/remap/refine/verify/encode/check).
+	// Nil costs nothing.
+	Telemetry *telemetry.Tracer
 }
 
-func (o *Options) fill() {
+func (o *Options) fill() error {
 	if o.Scheme == "" {
 		o.Scheme = Select
 	}
@@ -71,10 +79,17 @@ func (o *Options) fill() {
 	}
 	if o.DiffN == 0 {
 		o.DiffN = 8
+		if o.DiffN > o.RegN {
+			o.DiffN = o.RegN
+		}
+	}
+	if o.DiffN > o.RegN {
+		return fmt.Errorf("diffra: DiffN=%d exceeds RegN=%d: cannot encode more differences than registers", o.DiffN, o.RegN)
 	}
 	if o.Restarts == 0 {
 		o.Restarts = 1000
 	}
+	return nil
 }
 
 // Result is a compiled function.
@@ -107,47 +122,68 @@ func Compile(src string, opts Options) (*Result, error) {
 
 // CompileFunc is Compile for an already-constructed function.
 func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
-	opts.fill()
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	started := time.Now()
+	root := opts.Telemetry.Start("compile")
+	defer root.End()
+	root.SetAttr("func", f.Name)
+	root.SetAttr("scheme", string(opts.Scheme))
+	root.SetAttr("regn", opts.RegN)
+	root.SetAttr("diffn", opts.DiffN)
+
 	var (
 		out *ir.Func
 		asn *regalloc.Assignment
 		err error
 	)
+	alloc := root.Child("allocate")
 	differential := true
 	switch opts.Scheme {
 	case Baseline:
 		differential = false
-		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN})
+		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc})
 	case Remapping:
-		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN})
+		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc})
+		alloc.End()
 		if err == nil {
-			applyRemap(out, asn, opts)
+			applyRemap(out, asn, opts, root)
 		}
 	case Select:
 		out, asn, err = irc.Allocate(f, irc.Options{
 			K:             opts.RegN,
-			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN}),
+			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc}),
+			Trace:         alloc,
 		})
+		alloc.End()
 		if err == nil {
-			applyRemap(out, asn, opts)
-			diffsel.Refine(out, asn, diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN})
+			applyRemap(out, asn, opts, root)
+			refineTraced(out, asn, opts, root)
 		}
 	case OSpill:
 		differential = false
-		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN})
+		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Trace: alloc})
 	case Coalesce:
-		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN})
+		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc})
+		alloc.End()
 		if err == nil {
-			applyRemap(out, asn, opts)
-			diffsel.Refine(out, asn, diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN})
+			applyRemap(out, asn, opts, root)
+			refineTraced(out, asn, opts, root)
 		}
 	default:
 		return nil, fmt.Errorf("diffra: unknown scheme %q", opts.Scheme)
 	}
+	alloc.End() // idempotent: closes the paths that did not End above
 	if err != nil {
+		root.SetAttr("error", err.Error())
 		return nil, err
 	}
-	if err := regalloc.Verify(out, asn); err != nil {
+	verify := root.Child("verify")
+	err = regalloc.Verify(out, asn)
+	verify.End()
+	if err != nil {
+		root.SetAttr("error", err.Error())
 		return nil, err
 	}
 
@@ -155,11 +191,24 @@ func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
 	if differential {
 		cfg := diffenc.Config{RegN: opts.RegN, DiffN: opts.DiffN}
 		regOf := func(r ir.Reg) int { return asn.Color[r] }
+		encSpan := root.Child("encode")
 		enc, err := diffenc.Encode(out, regOf, cfg)
+		if enc != nil {
+			encSpan.Add("sets", int64(enc.Cost()))
+			encSpan.Add("join_sets", int64(enc.JoinSets))
+			encSpan.Add("range_sets", int64(enc.RangeSets()))
+			encSpan.Add("codes", int64(len(enc.Codes)))
+		}
+		encSpan.End()
 		if err != nil {
+			root.SetAttr("error", err.Error())
 			return nil, err
 		}
-		if err := diffenc.Check(out, regOf, cfg, enc); err != nil {
+		checkSpan := root.Child("check")
+		err = diffenc.Check(out, regOf, cfg, enc)
+		checkSpan.End()
+		if err != nil {
+			root.SetAttr("error", err.Error())
 			return nil, err
 		}
 		enc.ApplyToIR(out)
@@ -167,19 +216,38 @@ func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
 		res.SetLastRegs = enc.Cost()
 	}
 	res.SpillInstrs, res.Instrs = regalloc.SpillStats(out)
+	root.Add("instrs", int64(res.Instrs))
+	root.Add("spill_instrs", int64(res.SpillInstrs))
+	root.Add("set_last_regs", int64(res.SetLastRegs))
+
+	telemetry.Default.Counter("diffra_compiles").Inc()
+	telemetry.Default.Counter("diffra_instrs").Add(int64(res.Instrs))
+	telemetry.Default.Counter("diffra_spill_instrs").Add(int64(res.SpillInstrs))
+	telemetry.Default.Counter("diffra_set_last_regs").Add(int64(res.SetLastRegs))
+	telemetry.Default.Histogram("diffra_compile_us").Observe(time.Since(started).Microseconds())
 	return res, nil
 }
 
-func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options) {
+func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options, parent *telemetry.Span) {
+	span := parent.Child("remap")
+	defer span.End()
 	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, opts.RegN)
 	perm := remap.Auto(g, remap.Options{
 		RegN: opts.RegN, DiffN: opts.DiffN, Restarts: opts.Restarts, Seed: 1,
+		Trace: span,
 	})
 	for v, c := range asn.Color {
 		if c >= 0 {
 			asn.Color[v] = perm.Perm[c]
 		}
 	}
+}
+
+func refineTraced(out *ir.Func, asn *regalloc.Assignment, opts Options, parent *telemetry.Span) {
+	span := parent.Child("refine")
+	defer span.End()
+	changed := diffsel.Refine(out, asn, diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN})
+	span.Add("recolored", int64(changed))
 }
 
 // FieldWidths reports the operand field widths of a configuration:

@@ -3,6 +3,8 @@ package diffra
 import (
 	"strings"
 	"testing"
+
+	"diffra/internal/telemetry"
 )
 
 const sample = `
@@ -121,5 +123,63 @@ func TestCompileSpillsUnderPressure(t *testing.T) {
 	}
 	if !strings.Contains(res.F.String(), "spill_") {
 		t.Fatal("spill instructions not present in output")
+	}
+}
+
+func TestDiffNExceedsRegNRejected(t *testing.T) {
+	if _, err := Compile(sample, Options{RegN: 4, DiffN: 8}); err == nil {
+		t.Fatal("DiffN > RegN accepted")
+	}
+	// The DiffN default must shrink with small register files instead
+	// of tripping the same validation.
+	res, err := Compile(sample, Options{Scheme: Baseline, RegN: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instrs == 0 {
+		t.Fatal("empty result")
+	}
+}
+
+func TestCompileEmitsSpanTree(t *testing.T) {
+	sink := &telemetry.CollectSink{}
+	for _, s := range []Scheme{Baseline, Remapping, Select, OSpill, Coalesce} {
+		_, err := Compile(sample, Options{
+			Scheme: s, RegN: 8, DiffN: 4, Restarts: 20,
+			Telemetry: telemetry.New(sink),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		root := sink.Last()
+		if root == nil || root.Name != "compile" {
+			t.Fatalf("%s: no compile span emitted", s)
+		}
+		if root.Attr("scheme") != string(s) {
+			t.Fatalf("%s: scheme attr = %v", s, root.Attr("scheme"))
+		}
+		if root.Find("allocate") == nil || root.Find("verify") == nil {
+			t.Fatalf("%s: span tree missing allocate/verify", s)
+		}
+		differential := s == Remapping || s == Select || s == Coalesce
+		if differential {
+			enc := root.Find("encode")
+			if enc == nil || root.Find("check") == nil {
+				t.Fatalf("%s: differential scheme missing encode/check spans", s)
+			}
+			if enc.Counter("sets") != enc.Counter("join_sets")+enc.Counter("range_sets") {
+				t.Fatalf("%s: set accounting does not add up: %v", s, enc.Counters)
+			}
+		}
+		switch s {
+		case Baseline, Select:
+			if root.Find("liveness") == nil {
+				t.Fatalf("%s: no liveness span under allocate", s)
+			}
+		case OSpill, Coalesce:
+			if root.Find("ilp") == nil {
+				t.Fatalf("%s: no ilp span under allocate", s)
+			}
+		}
 	}
 }

@@ -62,5 +62,6 @@ func main() {
 			fmt.Printf("  (%+.1f%%)", (float64(baseCycles)/float64(st.Cycles)-1)*100)
 		}
 		fmt.Println()
+		fmt.Printf("           %s\n", st.String())
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"diffra/internal/liveness"
 	"diffra/internal/ospill"
 	"diffra/internal/regalloc"
+	"diffra/internal/telemetry"
 )
 
 // Options configures the allocator.
@@ -34,6 +35,10 @@ type Options struct {
 	MaxNodes int
 	// MaxRounds bounds fallback spill rounds (0: 16).
 	MaxRounds int
+	// Trace, when non-nil, is the allocator's phase span: the ILP spill
+	// decision and the coalescing loop report on it. Allocate does not
+	// End it; the caller owns it.
+	Trace *telemetry.Span
 }
 
 // Stats reports the allocation.
@@ -70,7 +75,13 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 	st := &Stats{}
 
 	work := f.Clone()
+	ilpSpan := opts.Trace.Child("ilp")
 	spills, spillStats := ospill.DecideSpills(work, opts.RegN, opts.MaxNodes)
+	ilpSpan.Add("constraints", int64(spillStats.Constraints))
+	ilpSpan.Add("nodes", int64(spillStats.ILPNodes))
+	ilpSpan.Add("spilled_ranges", int64(spillStats.ILPSpilled))
+	ilpSpan.SetAttr("optimal", spillStats.ILPOptimal)
+	ilpSpan.End()
 	st.Spill = spillStats
 	slots := regalloc.NewSlotAssigner()
 	stackParams := map[ir.Reg]int64{}
@@ -118,7 +129,15 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 		}
 	}
 
+	coalSpan := opts.Trace.Child("coalesce")
 	st.Coalesced, st.Attempts, st.InitialCost, st.FinalCost = cs.run()
+	coalSpan.Add("attempts", int64(st.Attempts))
+	coalSpan.Add("committed", int64(st.Coalesced))
+	coalSpan.Add("rejected", int64(st.Attempts-st.Coalesced))
+	coalSpan.SetAttr("initial_cost", st.InitialCost)
+	coalSpan.SetAttr("final_cost", st.FinalCost)
+	coalSpan.End()
+	opts.Trace.Add("fallback_spills", int64(st.FallbackSpills))
 	colors, ok := cs.color(cs.alias)
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("diffcoal: final graph uncolorable")

@@ -53,7 +53,41 @@ func AccessSequenceOrdered(f *ir.Func, regOf func(ir.Reg) int, cfg Config) []Acc
 	return seq
 }
 
-// SetPoint is a planned set_last_reg insertion.
+// SetReason classifies why a set_last_reg repair was inserted — the
+// two failure modes of plain differential encoding (§2.3).
+type SetReason uint8
+
+const (
+	// ReasonRange repairs an out-of-range difference: the hop from the
+	// previous access to this one is >= DiffN.
+	ReasonRange SetReason = iota
+	// ReasonJoin repairs multi-path inconsistency: a control-flow join
+	// whose predecessors leave different values in last_reg.
+	ReasonJoin
+)
+
+// String names the reason for reports.
+func (r SetReason) String() string {
+	switch r {
+	case ReasonRange:
+		return "out-of-range"
+	case ReasonJoin:
+		return "join"
+	}
+	return "unknown"
+}
+
+// JoinSource records one predecessor whose last_reg out-value
+// disagreed with the repair target at a join.
+type JoinSource struct {
+	Pred *ir.Block
+	// Last is the last_reg value the predecessor leaves behind.
+	Last int
+}
+
+// SetPoint is a planned set_last_reg insertion. Block/Before/Field
+// locate the repair in pre-insertion coordinates (the function as it
+// was when Encode ran, before ApplyToIR shifted instruction indices).
 type SetPoint struct {
 	Block *ir.Block
 	// Before is the instruction index the set precedes.
@@ -64,6 +98,21 @@ type SetPoint struct {
 	// instruction decoded before the set takes effect; -1 for
 	// immediate (the one-argument form).
 	Delay int
+
+	// Attribution: why this repair exists (surfaced by Explain and the
+	// -explain-slr report).
+	Reason SetReason
+	// Field is the register-field index (within the instruction at
+	// Before) whose difference was out of range; -1 for join repairs.
+	Field int
+	// Prev is the last_reg value in effect before the out-of-range
+	// field was encoded; -1 for join repairs.
+	Prev int
+	// Class is the register class being repaired.
+	Class int
+	// Disagree lists, for join repairs, the predecessors whose
+	// last_reg out-values conflicted (empty for range repairs).
+	Disagree []JoinSource
 }
 
 // Result is the outcome of Encode.
@@ -82,6 +131,10 @@ type Result struct {
 // Cost returns the number of set_last_reg instructions, the extra-cost
 // metric of the paper's figures 12–13.
 func (r *Result) Cost() int { return len(r.Sets) }
+
+// RangeSets counts the subset of Sets repairing out-of-range
+// differences (Cost() == RangeSets() + JoinSets).
+func (r *Result) RangeSets() int { return len(r.Sets) - r.JoinSets }
 
 // lattice for the reaching-last_reg analysis.
 const (
@@ -246,7 +299,7 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 		sort.Ints(clss)
 		for _, cls := range clss {
 			v := needsSet[b.Index][cls]
-			var disagree []*ir.Block
+			var disagree []JoinSource
 			edgeOK := true
 			edgeFreq := 0.0
 			for _, p := range b.Preds {
@@ -257,14 +310,15 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 				if pout == v {
 					continue
 				}
-				disagree = append(disagree, p)
+				disagree = append(disagree, JoinSource{Pred: p, Last: pout})
 				edgeFreq += freq[p]
 				if len(p.Succs) != 1 || len(p.Instrs) == 0 {
 					edgeOK = false
 				}
 			}
 			if edgeOK && len(disagree) > 0 && edgeFreq < freq[b] {
-				for _, p := range disagree {
+				for _, src := range disagree {
+					p := src.Pred
 					term := p.Terminator()
 					delay := len(term.RegFields())
 					if delay == 0 {
@@ -272,11 +326,17 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 					}
 					res.Sets = append(res.Sets, SetPoint{
 						Block: p, Before: len(p.Instrs) - 1, Value: v, Delay: delay,
+						Reason: ReasonJoin, Field: -1, Prev: -1, Class: cls,
+						Disagree: []JoinSource{src},
 					})
 					res.JoinSets++
 				}
 			} else {
-				res.Sets = append(res.Sets, SetPoint{Block: b, Before: 0, Value: v, Delay: -1})
+				res.Sets = append(res.Sets, SetPoint{
+					Block: b, Before: 0, Value: v, Delay: -1,
+					Reason: ReasonJoin, Field: -1, Prev: -1, Class: cls,
+					Disagree: disagree,
+				})
 				res.JoinSets++
 			}
 		}
@@ -329,7 +389,10 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 					if k == 0 {
 						delay = -1
 					}
-					res.Sets = append(res.Sets, SetPoint{Block: b, Before: i, Value: r, Delay: delay})
+					res.Sets = append(res.Sets, SetPoint{
+						Block: b, Before: i, Value: r, Delay: delay,
+						Reason: ReasonRange, Field: k, Prev: prev, Class: cls,
+					})
 					d = 0
 					if cfg.PerInstruction {
 						base[cls] = r

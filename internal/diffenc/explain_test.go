@@ -1,0 +1,76 @@
+package diffenc
+
+import (
+	"strings"
+	"testing"
+
+	"diffra/internal/ir"
+)
+
+// explainSample mixes both repair causes: out-of-range differences in
+// the busy straight-line stretch and a join whose predecessors leave
+// different last registers.
+const explainSample = `
+func g(v0, v1) {
+entry:
+  v3 = add v0, v1
+  br v3 -> left, right
+left:
+  v0 = add v0, v0
+  jmp join
+right:
+  v3 = add v1, v1
+  jmp join
+join:
+  v2 = add v0, v3
+  ret v2
+}
+`
+
+func TestExplainCoversEveryRepair(t *testing.T) {
+	f := ir.MustParse(explainSample)
+	res := mustEncode(t, f, Config{RegN: 4, DiffN: 2})
+	if res.Cost() == 0 {
+		t.Fatal("sample produced no repairs; test needs both causes")
+	}
+	out := ExplainString("g", res)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header plus one line per repair: every static set_last_reg is
+	// attributed.
+	if got := len(lines) - 1; got != res.Cost() {
+		t.Fatalf("%d report lines for %d repairs:\n%s", got, res.Cost(), out)
+	}
+	var ranges, joins int
+	for _, l := range lines[1:] {
+		switch {
+		case strings.Contains(l, "out-of-range:"):
+			ranges++
+		case strings.Contains(l, "join"):
+			joins++
+		default:
+			t.Fatalf("unattributed repair line: %q", l)
+		}
+	}
+	if ranges != res.RangeSets() || joins != res.JoinSets {
+		t.Fatalf("attributed %d range + %d join, want %d + %d",
+			ranges, joins, res.RangeSets(), res.JoinSets)
+	}
+	if !strings.Contains(lines[0], "out-of-range") || !strings.Contains(lines[0], "join") {
+		t.Fatalf("header lacks cause totals: %q", lines[0])
+	}
+}
+
+func TestAppliedListingShowsRepairs(t *testing.T) {
+	f := ir.MustParse(explainSample)
+	cfg := Config{RegN: 4, DiffN: 2}
+	res := mustEncode(t, f, cfg)
+	res.ApplyToIR(f)
+	out := AppliedListing(f, identity, cfg, res)
+	if got := strings.Count(out, "; decoder repair"); got != res.Cost() {
+		t.Fatalf("listing shows %d repairs, want %d:\n%s", got, res.Cost(), out)
+	}
+	// Code annotations must still align: every register field gets one.
+	if !strings.Contains(out, "RegN=4 DiffN=2") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+}

@@ -14,12 +14,16 @@ import (
 	"diffra/internal/adjacency"
 	"diffra/internal/ir"
 	"diffra/internal/irc"
+	"diffra/internal/telemetry"
 )
 
 // Params carries the encoding parameters the cost function needs.
 type Params struct {
 	RegN  int
 	DiffN int
+	// Trace, when non-nil, accumulates picker counters (picks,
+	// candidates scored, total chosen cost) across all rounds.
+	Trace *telemetry.Span
 }
 
 // NewFactory returns an irc.PickerFactory implementing differential
@@ -39,6 +43,9 @@ func NewFactory(p Params) irc.PickerFactory {
 					bestColor, bestCost = c, cost
 				}
 			}
+			p.Trace.Add("picks", 1)
+			p.Trace.Add("candidates", int64(len(okColors)))
+			p.Trace.AddFloat("chosen_cost", bestCost)
 			return bestColor
 		}
 	}

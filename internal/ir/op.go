@@ -79,6 +79,10 @@ const (
 	numOps
 )
 
+// NumOps is the opcode-space size, for dense per-opcode tables
+// (profilers, simulators) indexed by Op.
+const NumOps = int(numOps)
+
 // opInfo captures static operand shape for each opcode.
 type opInfo struct {
 	name    string

@@ -18,6 +18,7 @@ import (
 	"diffra/internal/ir"
 	"diffra/internal/liveness"
 	"diffra/internal/regalloc"
+	"diffra/internal/telemetry"
 )
 
 // ColorPicker chooses a color for vreg v among the legal okColors
@@ -52,6 +53,10 @@ type Options struct {
 	// KeepMoves disables the final removal of same-color moves; used
 	// by tests that inspect the allocator's raw output.
 	KeepMoves bool
+	// Trace, when non-nil, is the allocator's phase span: Allocate adds
+	// per-round child spans with simplify/coalesce/freeze/spill counters
+	// under it. Allocate does not End it; the caller owns it.
+	Trace *telemetry.Span
 }
 
 // Allocate colors f with opts.K registers, spilling as needed. It
@@ -82,7 +87,9 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) 
 		if round >= maxRounds {
 			return nil, nil, fmt.Errorf("irc: no convergence after %d spill rounds (K=%d)", maxRounds, opts.K)
 		}
-		a := newAllocState(work, opts)
+		rs := opts.Trace.Child(fmt.Sprintf("round-%d", round))
+		opts.Trace.Add("rounds", 1)
+		a := newAllocState(work, opts, rs)
 		if opts.PickerFactory != nil {
 			a.opts.Picker = opts.PickerFactory(work, a.getAlias)
 		}
@@ -92,6 +99,12 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) 
 			}
 		}
 		spilled := a.run()
+		rs.Add("simplified", a.numSimplified)
+		rs.Add("coalesced", int64(a.numCoalesced))
+		rs.Add("frozen", a.numFrozen)
+		rs.Add("potential_spills", a.numPotential)
+		rs.Add("actual_spills", int64(len(spilled)))
+		rs.End()
 		if len(spilled) == 0 {
 			asn.Color = make([]int, work.NumRegs())
 			for v := range asn.Color {
@@ -101,6 +114,9 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) 
 			if !opts.KeepMoves {
 				substituteAliases(work, a.getAlias)
 			}
+			opts.Trace.Add("spilled_vregs", int64(asn.SpilledVRegs))
+			opts.Trace.Add("spill_instrs", int64(asn.SpillInstrs))
+			opts.Trace.Add("coalesced_moves", int64(asn.CoalescedMoves))
 			return work, asn, nil
 		}
 		spillSet := make(map[ir.Reg]bool, len(spilled))
@@ -195,12 +211,17 @@ type allocState struct {
 	spillWL    map[int]bool
 	stack      []int
 
-	numCoalesced int
+	trace         *telemetry.Span
+	numCoalesced  int
+	numSimplified int64
+	numFrozen     int64
+	numPotential  int64
 }
 
-func newAllocState(f *ir.Func, opts Options) *allocState {
+func newAllocState(f *ir.Func, opts Options, span *telemetry.Span) *allocState {
 	n := f.NumRegs()
 	a := &allocState{
+		trace:      span,
 		f:          f,
 		opts:       opts,
 		k:          opts.K,
@@ -228,7 +249,9 @@ func newAllocState(f *ir.Func, opts Options) *allocState {
 
 // build constructs interference edges and move lists from liveness.
 func (a *allocState) build() {
-	info := liveness.Compute(a.f)
+	live := a.trace.Child("liveness")
+	info := liveness.ComputeTraced(a.f, live)
+	live.End()
 	g := regalloc.Build(a.f, info)
 	for u := 0; u < g.N; u++ {
 		for _, v := range g.AdjList[u] {
@@ -340,6 +363,7 @@ func minKey(m map[int]bool) int {
 
 func (a *allocState) simplify() {
 	v := minKey(a.simplifyWL)
+	a.numSimplified++
 	delete(a.simplifyWL, v)
 	a.state[v] = nsStack
 	a.stack = append(a.stack, v)
@@ -470,6 +494,7 @@ func (a *allocState) combine(u, v int) {
 
 func (a *allocState) freeze() {
 	v := minKey(a.freezeWL)
+	a.numFrozen++
 	delete(a.freezeWL, v)
 	a.state[v] = nsSimplify
 	a.simplifyWL[v] = true
@@ -499,6 +524,7 @@ func (a *allocState) freezeMoves(u int) {
 // selectSpill picks the spill-worklist node with minimal cost/degree,
 // the classic heuristic; spill temporaries carry infinite cost.
 func (a *allocState) selectSpill() {
+	a.numPotential++
 	best, bestScore := -1, math.Inf(1)
 	for v := range a.spillWL {
 		score := a.cost[v] / float64(a.degree[v]+1)

@@ -8,6 +8,7 @@ package liveness
 import (
 	"diffra/internal/bitset"
 	"diffra/internal/ir"
+	"diffra/internal/telemetry"
 )
 
 // Info holds the results of liveness analysis for one function.
@@ -23,6 +24,13 @@ type Info struct {
 
 // Compute runs the analysis.
 func Compute(f *ir.Func) *Info {
+	return ComputeTraced(f, nil)
+}
+
+// ComputeTraced is Compute under a telemetry span: it records the
+// dataflow iteration count and the resulting live-set sizes on span.
+// A nil span costs nothing.
+func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 	n := len(f.Blocks)
 	info := &Info{
 		F:       f,
@@ -57,8 +65,10 @@ func Compute(f *ir.Func) *Info {
 
 	// Backward fixpoint over postorder (reverse of RPO).
 	rpo := f.ReversePostorder()
+	iters := 0
 	for changed := true; changed; {
 		changed = false
+		iters++
 		for i := len(rpo) - 1; i >= 0; i-- {
 			b := rpo[i]
 			out := info.LiveOut[b.Index]
@@ -75,6 +85,16 @@ func Compute(f *ir.Func) *Info {
 				changed = true
 			}
 		}
+	}
+	if span != nil {
+		span.Add("iterations", int64(iters))
+		span.Add("blocks", int64(n))
+		liveSum := 0
+		for i := range f.Blocks {
+			liveSum += info.LiveOut[i].Len()
+		}
+		span.Add("live_out_total", int64(liveSum))
+		span.SetAttr("max_pressure", info.MaxPressure())
 	}
 	return info
 }

@@ -25,6 +25,7 @@ import (
 	"diffra/internal/irc"
 	"diffra/internal/liveness"
 	"diffra/internal/regalloc"
+	"diffra/internal/telemetry"
 )
 
 // Options configures the allocator.
@@ -42,6 +43,10 @@ type Options struct {
 	// through a loop but unreferenced inside it) and reverts to
 	// whole-range spilling only. Kept as an ablation knob.
 	DisableLoopSpills bool
+	// Trace, when non-nil, is the allocator's phase span: the ILP spill
+	// decision and the coloring phase report under it as child spans.
+	// Allocate does not End it; the caller owns it.
+	Trace *telemetry.Span
 }
 
 // Stats reports how the spill decision went.
@@ -59,6 +64,9 @@ type Stats struct {
 	LoopSpilled int
 	// Constraints is the number of over-pressure program points.
 	Constraints int
+	// ILPNodes is the number of branch-and-bound nodes the solver
+	// explored (0 when no program was solved).
+	ILPNodes int
 }
 
 // SpillProblem builds the covering instance for f with K registers:
@@ -125,6 +133,7 @@ func DecideSpills(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, Stats) {
 	}
 	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes})
 	st.ILPOptimal = sol.Optimal
+	st.ILPNodes = sol.Nodes
 	for v, on := range sol.X {
 		if on {
 			spills[ir.Reg(v)] = true
@@ -152,6 +161,7 @@ func DecideSpillsExtended(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, []LoopS
 		return spills, nil, st
 	}
 	st.ILPOptimal = sol.Optimal
+	st.ILPNodes = sol.Nodes
 	n := f.NumRegs()
 	var chosen []LoopSpillCandidate
 	for v, on := range sol.X {
@@ -176,11 +186,18 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 	var spills map[ir.Reg]bool
 	var loopChosen []LoopSpillCandidate
 	var st Stats
+	ilpSpan := opts.Trace.Child("ilp")
 	if opts.DisableLoopSpills {
 		spills, st = DecideSpills(work, opts.K, opts.MaxNodes)
 	} else {
 		spills, loopChosen, st = DecideSpillsExtended(work, opts.K, opts.MaxNodes)
 	}
+	ilpSpan.Add("constraints", int64(st.Constraints))
+	ilpSpan.Add("nodes", int64(st.ILPNodes))
+	ilpSpan.Add("spilled_ranges", int64(st.ILPSpilled))
+	ilpSpan.Add("loop_spills", int64(st.LoopSpilled))
+	ilpSpan.SetAttr("optimal", st.ILPOptimal)
+	ilpSpan.End()
 
 	slots := regalloc.NewSlotAssigner()
 	stackParams := map[ir.Reg]int64{}
@@ -201,12 +218,15 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 		return nil, nil, nil, err
 	}
 
+	colorSpan := opts.Trace.Child("color")
 	out, asn, err := irc.Allocate(work, irc.Options{
 		K:             opts.K,
 		Picker:        opts.Picker,
 		PickerFactory: opts.PickerFactory,
 		Slots:         slots,
+		Trace:         colorSpan,
 	})
+	colorSpan.End()
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -20,6 +20,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sort"
 
 	"diffra/internal/cache"
 	"diffra/internal/encode"
@@ -65,15 +66,31 @@ type Stats struct {
 	SetLastRegs uint64
 	SpillOps    uint64
 	MemOps      uint64
-	Branches    uint64
-	Taken       uint64
-	ICache      cache.Stats
-	DCache      cache.Stats
+	// Branches and Taken count control transfers. Conditional branches
+	// contribute to Branches always and to Taken when the branch is
+	// taken; unconditional jumps contribute to both (they always pay
+	// the redirect bubble).
+	Branches uint64
+	Taken    uint64
+	ICache   cache.Stats
+	DCache   cache.Stats
 	// BlockCounts[i] is how many times block with Index i was entered:
 	// an execution profile usable as adjacency edge weights (the §4
 	// remark that "profile information could be incorporated to
 	// improve the cost estimation").
 	BlockCounts []uint64
+	// BlockCycles[i] attributes cycles (including cache stalls and
+	// branch bubbles) to the block the instruction issued from;
+	// BlockIMisses/BlockDMisses attribute cache misses the same way.
+	// Together with BlockCounts they are the per-block breakdown the
+	// telemetry layer surfaces.
+	BlockCycles  []uint64
+	BlockIMisses []uint64
+	BlockDMisses []uint64
+	// OpCycles[op] / OpCounts[op] attribute cycles and executions per
+	// opcode, indexed by ir.Op (length ir.NumOps).
+	OpCycles []uint64
+	OpCounts []uint64
 }
 
 // CPI returns cycles per instruction.
@@ -82,6 +99,41 @@ func (s Stats) CPI() float64 {
 		return 0
 	}
 	return float64(s.Cycles) / float64(s.Instrs)
+}
+
+// String is a one-line run summary for examples and CLI output.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d instrs=%d cpi=%.2f branches=%d taken=%d mem=%d spill=%d slr=%d imiss=%.2f%% dmiss=%.2f%%",
+		s.Cycles, s.Instrs, s.CPI(), s.Branches, s.Taken, s.MemOps, s.SpillOps, s.SetLastRegs,
+		100*s.ICache.MissRate(), 100*s.DCache.MissRate())
+}
+
+// TopOps returns the n opcodes with the largest attributed cycle
+// share, descending — the per-opcode profile behind -trace output.
+func (s Stats) TopOps(n int) []OpShare {
+	var out []OpShare
+	for op, c := range s.OpCycles {
+		if c > 0 {
+			out = append(out, OpShare{Op: ir.Op(op), Cycles: c, Count: s.OpCounts[op]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Op < out[j].Op
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// OpShare is one opcode's attributed execution share.
+type OpShare struct {
+	Op     ir.Op
+	Cycles uint64
+	Count  uint64
 }
 
 // Machine executes functions.
@@ -182,6 +234,11 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 	layout := encode.Place(f, m.cfg.Model, 0)
 
 	st.BlockCounts = make([]uint64, len(f.Blocks))
+	st.BlockCycles = make([]uint64, len(f.Blocks))
+	st.BlockIMisses = make([]uint64, len(f.Blocks))
+	st.BlockDMisses = make([]uint64, len(f.Blocks))
+	st.OpCycles = make([]uint64, ir.NumOps)
+	st.OpCounts = make([]uint64, ir.NumOps)
 	b := f.Entry()
 	st.BlockCounts[b.Index]++
 	ii := 0
@@ -194,11 +251,14 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 			return 0, st, fmt.Errorf("pipeline: instruction budget exhausted (%d)", m.cfg.MaxInstrs)
 		}
 		st.Instrs++
-		st.Cycles++ // base cycle
+		bi := b.Index     // attribution block: where the instruction issued
+		cyc0 := st.Cycles // attribution base: cycles before this instruction
+		st.Cycles++       // base cycle
 
 		// Fetch through the I-cache.
 		if !m.ic.Access(layout.Addr[in]) {
 			st.Cycles += uint64(m.ic.Penalty())
+			st.BlockIMisses[bi]++
 		}
 
 		get := func(i int) int64 { return regs[regOf(in.Uses[i])] }
@@ -207,10 +267,13 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 			st.MemOps++
 			if !m.dc.Access(uint64(addr)) {
 				st.Cycles += uint64(m.dc.Penalty())
+				st.BlockDMisses[bi]++
 			}
 		}
 
 		branchTo := -1 // successor index chosen by a branch
+		done := false  // set by ret; the return value is in retv
+		var retv int64
 		switch in.Op {
 		case ir.OpAdd:
 			set(get(0) + get(1))
@@ -283,6 +346,9 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 			// Consumed at decode; costs the fetch/decode slot only.
 			st.SetLastRegs++
 		case ir.OpJmp:
+			// Unconditional transfer: counted as an always-taken branch
+			// so branch statistics cover every redirect bubble paid.
+			st.Branches++
 			branchTo = 0
 		case ir.OpBr:
 			st.Branches++
@@ -310,10 +376,10 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 				branchTo = 1
 			}
 		case ir.OpRet:
+			done = true
 			if len(in.Uses) > 0 {
-				return get(0), st, nil
+				retv = get(0)
 			}
-			return 0, st, nil
 		case ir.OpCall:
 			// The workloads are leaf kernels; calls return zero.
 			set(0)
@@ -331,6 +397,7 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 				st.Cycles += uint64(m.cfg.BranchBubble)
 			}
 			if in.Op == ir.OpJmp {
+				st.Taken++
 				st.Cycles += uint64(m.cfg.BranchBubble)
 			}
 			b = succ
@@ -338,6 +405,18 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 			ii = 0
 		} else {
 			ii++
+		}
+
+		// Attribute everything this instruction cost — base cycle,
+		// cache stalls, latency, bubbles — to its opcode and the block
+		// it issued from.
+		delta := st.Cycles - cyc0
+		st.OpCycles[in.Op] += delta
+		st.OpCounts[in.Op]++
+		st.BlockCycles[bi] += delta
+
+		if done {
+			return retv, st, nil
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"strings"
 	"testing"
 
 	"diffra/internal/diffenc"
@@ -484,5 +485,75 @@ func TestBlockCountsProfile(t *testing.T) {
 	}
 	if st.BlockCounts[head.Index] != uint64(n+1) {
 		t.Errorf("head count %d, want %d", st.BlockCounts[head.Index], n+1)
+	}
+}
+
+func TestJumpsCountAsTakenBranches(t *testing.T) {
+	f := ir.MustParse(sumSrc)
+	m := newMachine(t)
+	vals := []int64{1, 2, 3}
+	n := int64(len(vals))
+	_, st, err := m.Run(f, nil, RunOptions{Args: []int64{100, n}, Mem: arrayMem(100, vals)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per iteration: blt (taken into body) + jmp back; plus the entry
+	// jmp and the final not-taken blt. Every jmp is an always-taken
+	// branch.
+	wantBranches := uint64(2*n + 2)
+	wantTaken := uint64(2*n + 1)
+	if st.Branches != wantBranches || st.Taken != wantTaken {
+		t.Fatalf("branches=%d taken=%d, want %d/%d", st.Branches, st.Taken, wantBranches, wantTaken)
+	}
+}
+
+func TestCycleAttributionAddsUp(t *testing.T) {
+	f := ir.MustParse(sumSrc)
+	m := newMachine(t)
+	vals := []int64{3, 5, 7, 11}
+	_, st, err := m.Run(f, nil, RunOptions{Args: []int64{100, int64(len(vals))}, Mem: arrayMem(100, vals)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opCycles, opCounts, blockCycles uint64
+	for _, c := range st.OpCycles {
+		opCycles += c
+	}
+	for _, c := range st.OpCounts {
+		opCounts += c
+	}
+	for _, c := range st.BlockCycles {
+		blockCycles += c
+	}
+	if opCycles != st.Cycles {
+		t.Fatalf("per-opcode cycles %d != total %d", opCycles, st.Cycles)
+	}
+	if blockCycles != st.Cycles {
+		t.Fatalf("per-block cycles %d != total %d", blockCycles, st.Cycles)
+	}
+	if opCounts != st.Instrs {
+		t.Fatalf("per-opcode counts %d != instrs %d", opCounts, st.Instrs)
+	}
+	if st.OpCounts[ir.OpLoad] != uint64(len(vals)) {
+		t.Fatalf("load count = %d, want %d", st.OpCounts[ir.OpLoad], len(vals))
+	}
+	top := st.TopOps(3)
+	if len(top) == 0 || top[0].Cycles < top[len(top)-1].Cycles {
+		t.Fatalf("TopOps not sorted by cycles: %+v", top)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	f := ir.MustParse(sumSrc)
+	m := newMachine(t)
+	_, st, err := m.Run(f, nil, RunOptions{Args: []int64{100, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := st.String()
+	for _, want := range []string{"cycles=", "instrs=", "cpi=", "branches=", "taken=", "imiss=", "dmiss="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Stats.String() missing %q: %s", want, s)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"diffra/internal/adjacency"
+	"diffra/internal/telemetry"
 )
 
 // Options configures the search.
@@ -29,6 +30,10 @@ type Options struct {
 	Restarts int
 	// Seed makes the random restarts deterministic.
 	Seed int64
+	// Trace, when non-nil, is the search's phase span: restart counts,
+	// cost evaluations and the best-cost trajectory report on it. The
+	// search does not End it; the caller owns it.
+	Trace *telemetry.Span
 }
 
 // Result is the outcome of a remapping search.
@@ -101,6 +106,11 @@ func Exhaustive(g *adjacency.Graph, opts Options) *Result {
 	if len(vals) > 0 {
 		rec(len(vals))
 	}
+	if opts.Trace != nil {
+		opts.Trace.SetAttr("method", "exhaustive")
+		opts.Trace.SetAttr("best_cost", best.Cost)
+		opts.Trace.Add("evaluated", int64(best.Evaluated))
+	}
 	return best
 }
 
@@ -159,7 +169,10 @@ func Greedy(g *adjacency.Graph, opts Options) *Result {
 	}
 
 	best := &Result{Cost: -1}
+	var trajectory []float64 // best cost after each improving restart
+	performed := 0
 	for r := 0; r < restarts; r++ {
+		performed++
 		perm := Identity(opts.RegN)
 		if r > 0 {
 			// Random shuffle of the free positions' values.
@@ -199,10 +212,18 @@ func Greedy(g *adjacency.Graph, opts Options) *Result {
 		if best.Cost < 0 || cost < best.Cost {
 			best.Cost = cost
 			best.Perm = append([]int(nil), perm...)
+			trajectory = append(trajectory, cost)
 		}
 		if best.Cost == 0 {
 			break // cannot improve further
 		}
+	}
+	if opts.Trace != nil {
+		opts.Trace.SetAttr("method", "greedy")
+		opts.Trace.SetAttr("best_cost", best.Cost)
+		opts.Trace.SetAttr("trajectory", trajectory)
+		opts.Trace.Add("restarts", int64(performed))
+		opts.Trace.Add("evaluated", int64(best.Evaluated))
 	}
 	return best
 }

@@ -6,6 +6,11 @@
 //	diffra -scheme coalesce -regn 12 -diffn 8 program.ir
 //	diffra -scheme baseline -regn 8 -dump program.ir
 //	diffra -scheme coalesce -trace trace.json -explain-slr program.ir
+//	diffra -addr localhost:8791 -scheme ospill program.ir
+//
+// With -addr the compilation is shipped to a running diffrad server
+// (see cmd/diffrad) instead of happening in-process; -timeout-ms
+// bounds the remote compile.
 //
 // Schemes: baseline (iterated register coalescing, direct encoding),
 // remapping (§5), select (§6), ospill (optimal spilling, direct),
@@ -20,9 +25,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +41,7 @@ import (
 	"diffra/internal/diffenc"
 	"diffra/internal/ir"
 	"diffra/internal/pipeline"
+	"diffra/internal/service"
 	"diffra/internal/telemetry"
 )
 
@@ -49,10 +58,30 @@ func main() {
 	explainSLR := flag.Bool("explain-slr", false, "attribute every set_last_reg repair to its cause")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE")
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE")
+	addr := flag.String("addr", "", "compile remotely via a diffrad server at HOST:PORT instead of in-process")
+	timeoutMs := flag.Int("timeout-ms", 0, "remote compile deadline in milliseconds (with -addr; 0 = server default)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diffra [flags] program.ir")
 		os.Exit(2)
+	}
+
+	if *addr != "" {
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		remote(*addr, service.Request{
+			IR:        string(src),
+			Scheme:    *scheme,
+			RegN:      *regN,
+			DiffN:     *diffN,
+			Restarts:  *restarts,
+			TimeoutMs: *timeoutMs,
+			Listing:   *listing,
+			Explain:   *explainSLR,
+		})
+		return
 	}
 
 	if *cpuProfile != "" {
@@ -178,6 +207,49 @@ func main() {
 		if err := pprof.WriteHeapProfile(mf); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// remote ships the request to a diffrad server and renders the
+// response in the same shape as a local compile.
+func remote(addr string, req service.Request) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(err)
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	hr, err := http.Post(addr+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp service.Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		fatal(fmt.Errorf("bad response (%s): %v", hr.Status, err))
+	}
+	if resp.Error != "" {
+		fatal(fmt.Errorf("%s", resp.Error))
+	}
+	fmt.Printf("function       %s (remote%s)\n", resp.Func, map[bool]string{true: ", cached", false: ""}[resp.Cached])
+	fmt.Printf("scheme         %s (RegN=%d DiffN=%d)\n", resp.Scheme, resp.RegN, resp.DiffN)
+	fmt.Printf("instructions   %d\n", resp.Instrs)
+	fmt.Printf("spill instrs   %d (%.2f%%)\n", resp.SpillInstrs, pct(resp.SpillInstrs, resp.Instrs))
+	fmt.Printf("spilled ranges %d\n", resp.SpilledVRegs)
+	fmt.Printf("moves removed  %d\n", resp.CoalescedMoves)
+	if resp.SetLastRegs > 0 || resp.DiffW > 0 {
+		fmt.Printf("field width    %d bits (direct would need %d)\n", resp.DiffW, resp.RegW)
+		fmt.Printf("set_last_reg   %d (%d out-of-range, %d join), %.2f%% of code after insertion\n",
+			resp.SetLastRegs, resp.RangeSets, resp.JoinSets, pct(resp.SetLastRegs, resp.Instrs))
+	}
+	if resp.Explain != "" {
+		fmt.Println()
+		fmt.Print(resp.Explain)
+	}
+	if resp.Listing != "" {
+		fmt.Println()
+		fmt.Print(resp.Listing)
 	}
 }
 

@@ -1,0 +1,80 @@
+// Command diffrad is the diffra compile server: a daemon that accepts
+// IR functions over HTTP and compiles them concurrently through a
+// bounded worker pool with a content-addressed result cache.
+//
+//	diffrad -addr :8791
+//
+// Endpoints:
+//
+//	POST /compile   {"ir": "...", "scheme": "coalesce", "timeout_ms": 500}
+//	POST /batch     NDJSON stream of requests, responses stream back in order
+//	GET  /metrics   JSON snapshot of the telemetry registry
+//	GET  /healthz   liveness probe
+//
+// Per-request deadlines (timeout_ms, capped by -timeout as the
+// default) propagate into the compiler's long-running searches, so a
+// client that gives up stops burning a worker slot. SIGINT/SIGTERM
+// trigger a graceful shutdown: the listener closes, in-flight requests
+// drain, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"diffra/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8791", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent compilations (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity (negative disables)")
+	maxBytes := flag.Int64("max-request-bytes", 1<<20, "request body / IR source size limit")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain limit")
+	flag.Parse()
+
+	srv := service.NewHTTP(service.Config{
+		Workers:         *workers,
+		CacheEntries:    *cacheEntries,
+		MaxRequestBytes: *maxBytes,
+		DefaultTimeout:  *timeout,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffrad:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "diffrad: listening on %s (%d workers)\n", l.Addr(), srv.Pool().Workers())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffrad:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "diffrad: shutting down, draining requests")
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "diffrad: shutdown:", err)
+			os.Exit(1)
+		}
+		<-errc
+	}
+}

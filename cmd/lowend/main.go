@@ -22,6 +22,7 @@ func main() {
 	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "remapping restart count")
 	flag.IntVar(&cfg.RegN, "regn", cfg.RegN, "differential register count")
 	flag.IntVar(&cfg.DiffN, "diffn", cfg.DiffN, "encodable difference count")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "concurrent kernel×scheme compilations (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of figures")
 	flag.Parse()
 

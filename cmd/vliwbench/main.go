@@ -22,6 +22,7 @@ func main() {
 	flag.IntVar(&cfg.Loops, "loops", cfg.Loops, "loop population size")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "population seed")
 	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "kernel remapping restarts")
+	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "concurrent loop compilations (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
 	flag.Parse()
 

@@ -1,0 +1,120 @@
+package diffra
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"diffra/internal/ir"
+	"diffra/internal/telemetry"
+)
+
+// genFunc builds a distinct small function per index: a short chain
+// with enough simultaneously-live values to exercise the allocators.
+func genFunc(t *testing.T, i int) *ir.Func {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "func worker%d(v0) {\nentry:\n", i)
+	n := 6 + i%5
+	for j := 1; j <= n; j++ {
+		fmt.Fprintf(&b, "  v%d = li %d\n", j, i+j)
+	}
+	prev := 1
+	for j := 2; j <= n; j++ {
+		fmt.Fprintf(&b, "  v%d = add v%d, v%d\n", n+j-1, prev, j)
+		prev = n + j - 1
+	}
+	fmt.Fprintf(&b, "  ret v%d\n}\n", prev)
+	f, err := ir.Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestConcurrentCompileFunc compiles distinct functions from many
+// goroutines sharing one tracer (and the process-wide metrics
+// registry); run under -race this pins down that the compile pipeline
+// keeps no shared mutable state.
+func TestConcurrentCompileFunc(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := telemetry.New(&telemetry.JSONSink{W: &buf})
+	schemes := []Scheme{Baseline, Remapping, Select, OSpill, Coalesce}
+
+	const n = 20
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			res, err := CompileFunc(genFunc(t, i), Options{
+				Scheme:    schemes[i%len(schemes)],
+				RegN:      8,
+				DiffN:     6,
+				Restarts:  50,
+				Telemetry: tracer,
+			})
+			if err == nil && res.Instrs == 0 {
+				err = fmt.Errorf("worker%d: empty result", i)
+			}
+			errc <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(buf.String(), `"name":"compile"`); got != n {
+		t.Fatalf("tracer recorded %d compile roots, want %d", got, n)
+	}
+}
+
+func TestCompileContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := CompileContext(ctx, sample, Options{Scheme: OSpill, RegN: 6})
+	if err == nil {
+		t.Fatal("compile with cancelled context succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCompileContextDeadlineWraps(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, err := CompileContext(ctx, sample, Options{Scheme: Coalesce})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSequenceGeometryValidation(t *testing.T) {
+	for _, c := range []struct{ regN, diffN int }{
+		{0, 1}, {-3, 4}, {8, 0}, {8, -1}, {4, 9},
+	} {
+		if _, _, err := EncodeSequence([]int{0, 1}, c.regN, c.diffN); err == nil {
+			t.Errorf("EncodeSequence accepted RegN=%d DiffN=%d", c.regN, c.diffN)
+		}
+		if _, err := DecodeSequence([]int{0, 1}, nil, c.regN, c.diffN); err == nil {
+			t.Errorf("DecodeSequence accepted RegN=%d DiffN=%d", c.regN, c.diffN)
+		}
+	}
+	// The valid geometry still round-trips.
+	codes, repairs, err := EncodeSequence([]int{0, 3, 1, 7}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, err := DecodeSequence(codes, repairs, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(regs) != fmt.Sprint([]int{0, 3, 1, 7}) {
+		t.Fatalf("round trip: %v", regs)
+	}
+}

@@ -16,6 +16,7 @@
 package diffra
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,30 @@ func (o *Options) fill() error {
 	return nil
 }
 
+// Resolved returns the options with every default filled in, or an
+// error for an invalid geometry. The compile service derives cache
+// keys from resolved options so that equivalent requests (explicit
+// defaults vs. zero values) share a cache entry.
+func (o Options) Resolved() (Options, error) {
+	err := (&o).fill()
+	return o, err
+}
+
+// validateSeq checks a sequence-codec geometry with the same error
+// shape Options.fill uses for Compile.
+func validateSeq(regN, diffN int) error {
+	if regN <= 0 {
+		return fmt.Errorf("diffra: RegN=%d: register count must be positive", regN)
+	}
+	if diffN <= 0 {
+		return fmt.Errorf("diffra: DiffN=%d: difference count must be positive", diffN)
+	}
+	if diffN > regN {
+		return fmt.Errorf("diffra: DiffN=%d exceeds RegN=%d: cannot encode more differences than registers", diffN, regN)
+	}
+	return nil
+}
+
 // Result is a compiled function.
 type Result struct {
 	// F is the allocated function: spill code inserted, coalesced
@@ -113,17 +138,44 @@ type Result struct {
 // that every field decodes back to the allocated register along all
 // control-flow paths.
 func Compile(src string, opts Options) (*Result, error) {
+	return CompileContext(context.Background(), src, opts)
+}
+
+// CompileContext is Compile honouring a context: a deadline or
+// cancellation aborts the compilation between phases and interrupts
+// long-running searches (the optimal-spill ILP, the coalescing loop,
+// the remapping restarts) from within. The returned error wraps
+// ctx.Err(), so errors.Is(err, context.DeadlineExceeded) works.
+func CompileContext(ctx context.Context, src string, opts Options) (*Result, error) {
 	f, err := ir.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return CompileFunc(f, opts)
+	return CompileFuncContext(ctx, f, opts)
 }
 
 // CompileFunc is Compile for an already-constructed function.
 func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
+	return CompileFuncContext(context.Background(), f, opts)
+}
+
+// CompileFuncContext is CompileFunc honouring a context; see
+// CompileContext.
+func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result, error) {
 	if err := opts.fill(); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A context that can never be cancelled keeps the zero-overhead
+	// path: no hook is installed and no phase checks allocate.
+	var cancelled func() bool
+	if ctx.Done() != nil {
+		cancelled = func() bool { return ctx.Err() != nil }
+	}
+	ctxErr := func(f *ir.Func) error {
+		return fmt.Errorf("diffra: compile %s: %w", f.Name, ctx.Err())
 	}
 	started := time.Now()
 	root := opts.Telemetry.Start("compile")
@@ -148,7 +200,7 @@ func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
 		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc})
 		alloc.End()
 		if err == nil {
-			applyRemap(out, asn, opts, root)
+			applyRemap(out, asn, opts, root, cancelled)
 		}
 	case Select:
 		out, asn, err = irc.Allocate(f, irc.Options{
@@ -158,23 +210,31 @@ func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
 		})
 		alloc.End()
 		if err == nil {
-			applyRemap(out, asn, opts, root)
+			applyRemap(out, asn, opts, root, cancelled)
 			refineTraced(out, asn, opts, root)
 		}
 	case OSpill:
 		differential = false
-		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Trace: alloc})
+		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Trace: alloc, Cancel: cancelled})
 	case Coalesce:
-		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc})
+		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc, Cancel: cancelled})
 		alloc.End()
 		if err == nil {
-			applyRemap(out, asn, opts, root)
+			applyRemap(out, asn, opts, root, cancelled)
 			refineTraced(out, asn, opts, root)
 		}
 	default:
 		return nil, fmt.Errorf("diffra: unknown scheme %q", opts.Scheme)
 	}
 	alloc.End() // idempotent: closes the paths that did not End above
+	if ce := ctx.Err(); ce != nil {
+		// A cancel-induced allocator error (ospill.ErrCancelled, ...)
+		// surfaces as the context's own error so callers can match
+		// context.DeadlineExceeded / context.Canceled.
+		err = ctxErr(f)
+		root.SetAttr("error", err.Error())
+		return nil, err
+	}
 	if err != nil {
 		root.SetAttr("error", err.Error())
 		return nil, err
@@ -188,6 +248,11 @@ func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
 	}
 
 	res := &Result{F: out, Assignment: asn}
+	if ce := ctx.Err(); ce != nil {
+		err = ctxErr(f)
+		root.SetAttr("error", err.Error())
+		return nil, err
+	}
 	if differential {
 		cfg := diffenc.Config{RegN: opts.RegN, DiffN: opts.DiffN}
 		regOf := func(r ir.Reg) int { return asn.Color[r] }
@@ -228,13 +293,13 @@ func CompileFunc(f *ir.Func, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options, parent *telemetry.Span) {
+func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options, parent *telemetry.Span, cancel func() bool) {
 	span := parent.Child("remap")
 	defer span.End()
 	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, opts.RegN)
 	perm := remap.Auto(g, remap.Options{
 		RegN: opts.RegN, DiffN: opts.DiffN, Restarts: opts.Restarts, Seed: 1,
-		Trace: span,
+		Trace: span, Cancel: cancel,
 	})
 	for v, c := range asn.Color {
 		if c >= 0 {
@@ -261,11 +326,17 @@ func FieldWidths(regN, diffN int) (regW, diffW int) {
 // access sequence (the §2 scheme); see internal/diffenc for the full
 // control-flow-aware encoder.
 func EncodeSequence(regs []int, regN, diffN int) (codes []int, repairs map[int]int, err error) {
+	if err := validateSeq(regN, diffN); err != nil {
+		return nil, nil, err
+	}
 	return diffenc.EncodeSequence(regs, diffenc.Config{RegN: regN, DiffN: diffN})
 }
 
 // DecodeSequence inverts EncodeSequence.
 func DecodeSequence(codes []int, repairs map[int]int, regN, diffN int) ([]int, error) {
+	if err := validateSeq(regN, diffN); err != nil {
+		return nil, err
+	}
 	return diffenc.DecodeSequence(codes, repairs, nil, diffenc.Config{RegN: regN, DiffN: diffN})
 }
 

@@ -19,6 +19,30 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestNewNeverPanics: bad geometry must come back as an error from
+// New — long-running callers (the compile daemon's simulations above
+// all) handle it instead of crashing. Only MustNew may panic.
+func TestNewNeverPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("New panicked on bad geometry: %v", r)
+		}
+	}()
+	c, err := New(Config{Size: -64, LineSize: 0, Assoc: -1})
+	if err == nil || c != nil {
+		t.Fatalf("New(bad) = %v, %v; want nil, error", c, err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustNew did not panic on bad geometry")
+			}
+		}()
+		MustNew(Config{Size: 0, LineSize: 0, Assoc: 0})
+	}()
+}
+
 func TestHitsWithinLine(t *testing.T) {
 	c := MustNew(Config{Size: 1024, LineSize: 32, Assoc: 2, MissPenalty: 10})
 	if c.Access(0) {

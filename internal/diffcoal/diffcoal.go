@@ -14,6 +14,7 @@
 package diffcoal
 
 import (
+	"errors"
 	"fmt"
 
 	"diffra/internal/adjacency"
@@ -39,7 +40,15 @@ type Options struct {
 	// decision and the coalescing loop report on it. Allocate does not
 	// End it; the caller owns it.
 	Trace *telemetry.Span
+	// Cancel, when non-nil, is polled by the spill ILP and between
+	// coalescing probes; returning true aborts Allocate with
+	// ErrCancelled.
+	Cancel func() bool
 }
+
+// ErrCancelled is returned by Allocate when Options.Cancel aborted the
+// allocation (typically a caller's context deadline or cancellation).
+var ErrCancelled = errors.New("diffcoal: allocation cancelled")
 
 // Stats reports the allocation.
 type Stats struct {
@@ -76,12 +85,15 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 
 	work := f.Clone()
 	ilpSpan := opts.Trace.Child("ilp")
-	spills, spillStats := ospill.DecideSpills(work, opts.RegN, opts.MaxNodes)
+	spills, spillStats := ospill.DecideSpillsCancel(work, opts.RegN, opts.MaxNodes, opts.Cancel)
 	ilpSpan.Add("constraints", int64(spillStats.Constraints))
 	ilpSpan.Add("nodes", int64(spillStats.ILPNodes))
 	ilpSpan.Add("spilled_ranges", int64(spillStats.ILPSpilled))
 	ilpSpan.SetAttr("optimal", spillStats.ILPOptimal)
 	ilpSpan.End()
+	if spillStats.Cancelled {
+		return nil, nil, nil, ErrCancelled
+	}
 	st.Spill = spillStats
 	slots := regalloc.NewSlotAssigner()
 	stackParams := map[ir.Reg]int64{}
@@ -102,6 +114,9 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 
 	var cs *coalesceState
 	for round := 0; ; round++ {
+		if opts.Cancel != nil && opts.Cancel() {
+			return nil, nil, nil, ErrCancelled
+		}
 		if round >= maxRounds {
 			return nil, nil, nil, fmt.Errorf("diffcoal: no colorable graph after %d fallback rounds", maxRounds)
 		}
@@ -131,6 +146,10 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 
 	coalSpan := opts.Trace.Child("coalesce")
 	st.Coalesced, st.Attempts, st.InitialCost, st.FinalCost = cs.run()
+	if opts.Cancel != nil && opts.Cancel() {
+		coalSpan.End()
+		return nil, nil, nil, ErrCancelled
+	}
 	coalSpan.Add("attempts", int64(st.Attempts))
 	coalSpan.Add("committed", int64(st.Coalesced))
 	coalSpan.Add("rejected", int64(st.Attempts-st.Coalesced))
@@ -409,6 +428,9 @@ func (cs *coalesceState) run() (coalesced, attempts int, initial, final float64)
 		bestCost := current
 		var bestAlias []int
 		for _, m := range cs.moves {
+			if cs.opts.Cancel != nil && cs.opts.Cancel() {
+				return coalesced, attempts, initial, current
+			}
 			x := root(cs.alias, int(m.in.Defs[0]))
 			y := root(cs.alias, int(m.in.Uses[0]))
 			if x == y {

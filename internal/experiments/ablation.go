@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -10,6 +11,7 @@ import (
 	"diffra/internal/irc"
 	"diffra/internal/pipeline"
 	"diffra/internal/regalloc"
+	"diffra/internal/service"
 	"diffra/internal/workloads"
 )
 
@@ -37,19 +39,21 @@ type SelectiveResult struct {
 // compile both ways, simulate, and let the policy pick the faster.
 // The selective policy can never lose to either fixed policy.
 func RunSelective(cfg LowEndConfig) ([]SelectiveResult, error) {
-	mach, err := pipeline.New(pipeline.LowEnd())
-	if err != nil {
-		return nil, err
-	}
-	var out []SelectiveResult
-	for _, k := range workloads.Kernels() {
-		base, err := runKernelScheme(mach, &k, SchemeBaseline, cfg)
+	kernels := workloads.Kernels()
+	out := make([]SelectiveResult, len(kernels))
+	err := service.NewPool(cfg.Workers).Map(context.Background(), len(kernels), func(i int) error {
+		k := &kernels[i]
+		mach, err := pipeline.New(pipeline.LowEnd())
 		if err != nil {
-			return nil, fmt.Errorf("%s/baseline: %w", k.Name, err)
+			return err
 		}
-		diff, err := runKernelScheme(mach, &k, SchemeSelect, cfg)
+		base, err := runKernelScheme(mach, k, SchemeBaseline, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("%s/select: %w", k.Name, err)
+			return fmt.Errorf("%s/baseline: %w", k.Name, err)
+		}
+		diff, err := runKernelScheme(mach, k, SchemeSelect, cfg)
+		if err != nil {
+			return fmt.Errorf("%s/select: %w", k.Name, err)
 		}
 		r := SelectiveResult{
 			Kernel:       k.Name,
@@ -61,7 +65,11 @@ func RunSelective(cfg LowEndConfig) ([]SelectiveResult, error) {
 		if r.Enabled {
 			r.Selective = r.Differential
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -95,17 +103,19 @@ type AlternativeResult struct {
 // then encoded under the three variants, so the counts isolate the
 // encoding rule itself.
 func RunAlternatives(cfg LowEndConfig) ([]AlternativeResult, error) {
-	var out []AlternativeResult
-	for _, k := range workloads.Kernels() {
+	kernels := workloads.Kernels()
+	out := make([]AlternativeResult, len(kernels))
+	err := service.NewPool(cfg.Workers).Map(context.Background(), len(kernels), func(i int) error {
+		k := &kernels[i]
 		alloc, asn, err := irc.Allocate(k.F, irc.Options{
 			K:             cfg.RegN,
 			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: cfg.RegN, DiffN: cfg.DiffN}),
 		})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		if err := regalloc.Verify(alloc, asn); err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		regOf := func(r ir.Reg) int { return asn.Color[r] }
 		count := func(c diffenc.Config) (int, error) {
@@ -121,19 +131,23 @@ func RunAlternatives(cfg LowEndConfig) ([]AlternativeResult, error) {
 		r := AlternativeResult{Kernel: k.Name}
 		base := diffenc.Config{RegN: cfg.RegN, DiffN: cfg.DiffN}
 		if r.SrcFirstPerField, err = count(base); err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		dst := base
 		dst.DstFirst = true
 		if r.DstFirstPerField, err = count(dst); err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
 		pi := base
 		pi.PerInstruction = true
 		if r.SrcFirstPerInstr, err = count(pi); err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
+			return fmt.Errorf("%s: %w", k.Name, err)
 		}
-		out = append(out, r)
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"diffra/internal/adjacency"
@@ -18,6 +19,7 @@ import (
 	"diffra/internal/pipeline"
 	"diffra/internal/regalloc"
 	"diffra/internal/remap"
+	"diffra/internal/service"
 	"diffra/internal/workloads"
 )
 
@@ -44,6 +46,10 @@ type LowEndConfig struct {
 	Restarts int
 	// Seed drives the remapping restarts.
 	Seed int64
+	// Workers bounds concurrent kernel×scheme cells (0: GOMAXPROCS).
+	// Every cell is independent and deterministic, so the report is
+	// identical at any worker count.
+	Workers int
 }
 
 // DefaultLowEnd returns the paper's configuration.
@@ -127,37 +133,126 @@ func (rep *LowEndReport) avg(scheme string, f func(KernelResult) float64) float6
 // simulated on the low-end pipeline. Every allocation is verified and
 // every differential encoding is checked decodable; every simulated
 // run must return the same value as the virtual-register reference.
+//
+// The kernel×scheme cells are independent, so they fan out over a
+// worker pool (cfg.Workers); results land in per-cell slots, keeping
+// the report deterministic regardless of completion order.
 func RunLowEnd(cfg LowEndConfig) (*LowEndReport, error) {
 	rep := &LowEndReport{
 		Config:  cfg,
 		Results: map[string]map[string]KernelResult{},
 	}
-	for _, s := range Schemes() {
+	schemes := Schemes()
+	for _, s := range schemes {
 		rep.Results[s] = map[string]KernelResult{}
 	}
-	mach, err := pipeline.New(pipeline.LowEnd())
+	kernels := workloads.Kernels()
+	for _, k := range kernels {
+		rep.Kernels = append(rep.Kernels, k.Name)
+	}
+	pool := service.NewPool(cfg.Workers)
+	ctx := context.Background()
+
+	// Reference runs, one per kernel, on virtual registers. The
+	// pipeline machine keeps per-run state, so each task builds its own.
+	refs := make([]int64, len(kernels))
+	err := pool.Map(ctx, len(kernels), func(i int) error {
+		mach, err := pipeline.New(pipeline.LowEnd())
+		if err != nil {
+			return err
+		}
+		want, _, err := mach.Run(kernels[i].F, nil, pipeline.RunOptions{Args: kernels[i].Args, Mem: kernels[i].Mem})
+		if err != nil {
+			return fmt.Errorf("%s reference: %w", kernels[i].Name, err)
+		}
+		refs[i] = want
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 
-	for _, k := range workloads.Kernels() {
-		rep.Kernels = append(rep.Kernels, k.Name)
-		want, _, err := mach.Run(k.F, nil, pipeline.RunOptions{Args: k.Args, Mem: k.Mem})
+	// The kernel×scheme grid.
+	cells := make([]*KernelResult, len(kernels)*len(schemes))
+	err = pool.Map(ctx, len(cells), func(c int) error {
+		k, scheme := &kernels[c/len(schemes)], schemes[c%len(schemes)]
+		mach, err := pipeline.New(pipeline.LowEnd())
 		if err != nil {
-			return nil, fmt.Errorf("%s reference: %w", k.Name, err)
+			return err
 		}
-		for _, scheme := range Schemes() {
-			res, err := runKernelScheme(mach, &k, scheme, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", k.Name, scheme, err)
-			}
-			if res.Ret != want {
-				return nil, fmt.Errorf("%s/%s: returned %d, reference %d", k.Name, scheme, res.Ret, want)
-			}
-			rep.Results[scheme][k.Name] = *res
+		res, err := runKernelScheme(mach, k, scheme, cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", k.Name, scheme, err)
 		}
+		if want := refs[c/len(schemes)]; res.Ret != want {
+			return fmt.Errorf("%s/%s: returned %d, reference %d", k.Name, scheme, res.Ret, want)
+		}
+		cells[c] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for c, res := range cells {
+		rep.Results[schemes[c%len(schemes)]][kernels[c/len(schemes)].Name] = *res
 	}
 	return rep, nil
+}
+
+// serviceRequest translates one cell of the experiment grid into a
+// compile-service request: the experiments' scheme names and register
+// geometries mapped onto the facade's.
+func serviceRequest(k *workloads.Kernel, scheme string, cfg LowEndConfig) (service.Request, error) {
+	req := service.Request{IR: k.F.String()}
+	switch scheme {
+	case SchemeBaseline:
+		req.Scheme, req.RegN, req.DiffN = "baseline", cfg.BaselineK, cfg.BaselineK
+	case SchemeOSpill:
+		req.Scheme, req.RegN, req.DiffN = "ospill", cfg.BaselineK, cfg.BaselineK
+	case SchemeRemap:
+		req.Scheme, req.RegN, req.DiffN, req.Restarts = "remapping", cfg.RegN, cfg.DiffN, cfg.Restarts
+	case SchemeSelect:
+		req.Scheme, req.RegN, req.DiffN, req.Restarts = "select", cfg.RegN, cfg.DiffN, cfg.Restarts
+	case SchemeCoalesce:
+		req.Scheme, req.RegN, req.DiffN, req.Restarts = "coalesce", cfg.RegN, cfg.DiffN, cfg.Restarts
+	default:
+		return req, fmt.Errorf("unknown scheme %q", scheme)
+	}
+	return req, nil
+}
+
+// LowEndBatch compiles the §10.1 kernel×scheme grid through a compile
+// server's batch path instead of in-process, returning the static
+// measurements the service reports (scheme -> kernel -> response; no
+// simulation — dynamic numbers need RunLowEnd). It is the
+// service-parity entry point: with the default config the responses'
+// static counts match RunLowEnd's cell for cell.
+func LowEndBatch(ctx context.Context, srv *service.Server, cfg LowEndConfig) (map[string]map[string]service.Response, error) {
+	schemes := Schemes()
+	kernels := workloads.Kernels()
+	var reqs []service.Request
+	for i := range kernels {
+		for _, scheme := range schemes {
+			req, err := serviceRequest(&kernels[i], scheme, cfg)
+			if err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	resps := srv.ServeBatch(ctx, reqs)
+	out := map[string]map[string]service.Response{}
+	for _, s := range schemes {
+		out[s] = map[string]service.Response{}
+	}
+	for i, resp := range resps {
+		k, scheme := kernels[i/len(schemes)].Name, schemes[i%len(schemes)]
+		if resp.Error != "" {
+			return nil, fmt.Errorf("%s/%s: %s", k, scheme, resp.Error)
+		}
+		out[scheme][k] = resp
+	}
+	return out, nil
 }
 
 // applyRemap runs the §5 post-pass over an allocated function: permute

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -12,6 +13,7 @@ import (
 	"diffra/internal/pipeline"
 	"diffra/internal/regalloc"
 	"diffra/internal/remap"
+	"diffra/internal/service"
 	"diffra/internal/workloads"
 )
 
@@ -33,19 +35,25 @@ type ProfileResult struct {
 	StaticCycles, ProfileCycles uint64
 }
 
-// RunProfileGuided executes the ablation over the kernel suite.
+// RunProfileGuided executes the ablation over the kernel suite, one
+// kernel per pool task.
 func RunProfileGuided(cfg LowEndConfig) ([]ProfileResult, error) {
-	mach, err := pipeline.New(pipeline.LowEnd())
+	kernels := workloads.Kernels()
+	out := make([]ProfileResult, len(kernels))
+	err := service.NewPool(cfg.Workers).Map(context.Background(), len(kernels), func(i int) error {
+		mach, err := pipeline.New(pipeline.LowEnd())
+		if err != nil {
+			return err
+		}
+		r, err := profileOne(mach, &kernels[i], cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", kernels[i].Name, err)
+		}
+		out[i] = *r
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	var out []ProfileResult
-	for _, k := range workloads.Kernels() {
-		r, err := profileOne(mach, &k, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
-		}
-		out = append(out, *r)
 	}
 	return out, nil
 }

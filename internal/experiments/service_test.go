@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"diffra/internal/service"
+	"diffra/internal/telemetry"
+)
+
+// TestLowEndBatchParity runs the kernel×scheme grid twice — once
+// through the in-process harness, once through the compile service's
+// batch path — and demands identical static measurements cell for
+// cell. This pins the facade's scheme pipelines to the experiment
+// pipelines (and, since every service compile is independent, it is
+// also a determinism check on the parallel harness).
+func TestLowEndBatchParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment")
+	}
+	cfg := fastLowEnd()
+	rep, err := RunLowEnd(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := service.New(service.Config{Registry: telemetry.NewRegistry()})
+	batch, err := LowEndBatch(context.Background(), srv, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, scheme := range Schemes() {
+		for _, k := range rep.Kernels {
+			want := rep.Results[scheme][k]
+			got, ok := batch[scheme][k]
+			if !ok {
+				t.Fatalf("%s/%s missing from batch", k, scheme)
+			}
+			if got.Instrs != want.Instrs || got.SpillInstrs != want.SpillInstrs || got.SetLastRegs != want.SetLastRegs {
+				t.Errorf("%s/%s: service (instrs=%d spills=%d sets=%d) vs harness (instrs=%d spills=%d sets=%d)",
+					k, scheme, got.Instrs, got.SpillInstrs, got.SetLastRegs,
+					want.Instrs, want.SpillInstrs, want.SetLastRegs)
+			}
+		}
+	}
+
+	reg := srv.Registry()
+	if b := reg.Counter("service_batches").Value(); b != 1 {
+		t.Fatalf("service_batches = %d, want 1", b)
+	}
+	if n := int(reg.Counter("service_requests").Value()); n != len(rep.Kernels)*len(Schemes()) {
+		t.Fatalf("service_requests = %d, want %d", n, len(rep.Kernels)*len(Schemes()))
+	}
+}

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"diffra/internal/modsched"
+	"diffra/internal/service"
 	"diffra/internal/vliw"
 	"diffra/internal/workloads"
 )
@@ -27,6 +29,10 @@ type VLIWConfig struct {
 	// LoopCodeShare is the fraction of static code occupied by the
 	// studied innermost loops, used to scale code growth to "all code".
 	LoopCodeShare float64
+	// Workers bounds concurrent loop compilations (0: GOMAXPROCS).
+	// Per-loop results land in indexed slots and the reductions stay
+	// sequential, so the report is identical at any worker count.
+	Workers int
 }
 
 // DefaultVLIW returns the paper's configuration.
@@ -85,39 +91,78 @@ func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
 	m := vliw.Default()
 	loops := workloads.SPECLoops(cfg.Seed, cfg.Loops)
 	rep := &VLIWReport{Config: cfg}
+	pool := service.NewPool(cfg.Workers)
+	ctx := context.Background()
 
-	// Baseline pass.
+	// Baseline pass: every loop scheduled independently over the pool,
+	// then a sequential reduce so the floating-point sums stay in loop
+	// order (bit-identical reports at any worker count).
 	bases := make([]loopBaseline, len(loops))
-	var totalBaseCycles, optBaseCycles float64
-	for i, l := range loops {
-		free, err := modsched.Compile(l, m, 1<<30)
+	err := pool.Map(ctx, len(loops), func(i int) error {
+		free, err := modsched.Compile(loops[i], m, 1<<30)
 		if err != nil {
-			return nil, fmt.Errorf("loop %d (free): %w", i, err)
+			return fmt.Errorf("loop %d (free): %w", i, err)
 		}
-		base, err := modsched.Compile(l, m, m.ArchRegs)
+		base, err := modsched.Compile(loops[i], m, m.ArchRegs)
 		if err != nil {
-			return nil, fmt.Errorf("loop %d (base): %w", i, err)
+			return fmt.Errorf("loop %d (base): %w", i, err)
 		}
 		bases[i] = loopBaseline{
-			loop:      l,
+			loop:      loops[i],
 			base:      base,
 			optimized: free.MaxLive > m.ArchRegs,
 			ops:       len(base.Loop.Ops),
 		}
-		c := float64(base.Cycles())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var totalBaseCycles, optBaseCycles float64
+	for i := range bases {
+		c := float64(bases[i].base.Cycles())
 		totalBaseCycles += c
 		if bases[i].optimized {
 			optBaseCycles += c
 			rep.Optimized++
-			rep.BaselineSpills += base.Spilled
+			rep.BaselineSpills += bases[i].base.Spilled
 		}
 	}
 	if totalBaseCycles > 0 {
 		rep.OptimizedCycleShare = optBaseCycles / totalBaseCycles
 	}
 
+	// One reschedule per optimized loop per RegN; contributions land in
+	// per-loop slots and reduce sequentially.
+	type loopCell struct {
+		spilled, sets, ops int
+		cycles             float64
+	}
 	for _, regN := range cfg.RegNs {
 		row := VLIWRow{RegN: regN}
+		cells := make([]loopCell, len(bases))
+		err := pool.Map(ctx, len(bases), func(i int) error {
+			b := &bases[i]
+			if !b.optimized {
+				return nil
+			}
+			s, err := modsched.Compile(b.loop, m, regN)
+			if err != nil {
+				return fmt.Errorf("loop %d regN %d: %w", i, regN, err)
+			}
+			regs := modsched.KernelRegs(s, regN)
+			sets := modsched.EncodingCost(s, regs, regN, cfg.DiffN, cfg.Restarts, cfg.Seed)
+			cells[i] = loopCell{
+				spilled: s.Spilled,
+				sets:    sets,
+				ops:     len(s.Loop.Ops) + sets,
+				cycles:  float64(s.Cycles()),
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		var optCycles, allCycles float64
 		var optOps, optBaseOps, allOps, allBaseOps int
 		for i := range bases {
@@ -125,27 +170,18 @@ func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
 			if !b.optimized {
 				// Differential encoding stays off (§8.2): identical
 				// code and cycles.
-				c := float64(b.base.Cycles())
-				allCycles += c
+				allCycles += float64(b.base.Cycles())
 				allOps += b.ops
 				allBaseOps += b.ops
 				continue
 			}
-			s, err := modsched.Compile(b.loop, m, regN)
-			if err != nil {
-				return nil, fmt.Errorf("loop %d regN %d: %w", i, regN, err)
-			}
-			row.SpillsOptimized += s.Spilled
-			regs := modsched.KernelRegs(s, regN)
-			sets := modsched.EncodingCost(s, regs, regN, cfg.DiffN, cfg.Restarts, cfg.Seed)
-			row.SetLastRegs += sets
-			c := float64(s.Cycles())
-			optCycles += c
-			allCycles += c
-			ops := len(s.Loop.Ops) + sets
-			optOps += ops
+			row.SpillsOptimized += cells[i].spilled
+			row.SetLastRegs += cells[i].sets
+			optCycles += cells[i].cycles
+			allCycles += cells[i].cycles
+			optOps += cells[i].ops
 			optBaseOps += b.ops
-			allOps += ops
+			allOps += cells[i].ops
 			allBaseOps += b.ops
 		}
 		row.SpeedupOptimized = speedupPct(optBaseCycles, optCycles)

@@ -1,0 +1,71 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hardDisjoint builds groups of disjoint constraints with near-uniform
+// costs: the per-constraint lower bound is loose across groups, so the
+// search explores many nodes before proving optimality.
+func hardDisjoint(groups, width, need int) Problem {
+	rng := rand.New(rand.NewSource(7))
+	n := groups * width
+	p := Problem{Costs: make([]float64, n)}
+	for i := range p.Costs {
+		p.Costs[i] = 10 + float64(rng.Intn(3))
+	}
+	for g := 0; g < groups; g++ {
+		vars := make([]int, width)
+		for i := range vars {
+			vars[i] = g*width + i
+		}
+		p.Constraints = append(p.Constraints, Constraint{Vars: vars, Need: need})
+	}
+	return p
+}
+
+func TestCancelStopsSearch(t *testing.T) {
+	p := hardDisjoint(8, 12, 6)
+	full := Solve(p, Options{MaxNodes: 50000})
+	if full.Nodes < 10000 {
+		t.Fatalf("instance too easy to observe cancellation: %d nodes", full.Nodes)
+	}
+
+	// An immediately-true cancel hook is polled every ~64 nodes, so the
+	// cancelled search must stop after a small fraction of the full run.
+	sol := Solve(p, Options{MaxNodes: 50000, Cancel: func() bool { return true }})
+	if !sol.Cancelled {
+		t.Fatal("Cancelled not reported")
+	}
+	if sol.Optimal {
+		t.Fatal("cancelled solve claims optimality")
+	}
+	if sol.Nodes > 256 {
+		t.Fatalf("cancel ignored: explored %d nodes", sol.Nodes)
+	}
+	// The greedy incumbent must still be feasible.
+	if sol.X == nil {
+		t.Fatal("cancelled solve returned no incumbent")
+	}
+	for _, c := range p.Constraints {
+		cnt := 0
+		for _, v := range c.Vars {
+			if sol.X[v] {
+				cnt++
+			}
+		}
+		if cnt < c.Need {
+			t.Fatal("cancelled solve returned infeasible incumbent")
+		}
+	}
+}
+
+func TestNilCancelUnchanged(t *testing.T) {
+	p := hardDisjoint(2, 6, 3)
+	a := Solve(p, Options{})
+	b := Solve(p, Options{Cancel: func() bool { return false }})
+	if a.Cost != b.Cost || a.Optimal != b.Optimal || a.Cancelled || b.Cancelled {
+		t.Fatalf("never-firing cancel changed the result: %+v vs %+v", a, b)
+	}
+}

@@ -55,6 +55,10 @@ type Problem struct {
 type Options struct {
 	// MaxNodes caps branch-and-bound nodes (0: 500000).
 	MaxNodes int
+	// Cancel, when non-nil, is polled about every 64 nodes; returning
+	// true aborts the search. The solution reports Cancelled and holds
+	// the best incumbent found so far (always feasible when non-nil).
+	Cancel func() bool
 }
 
 // Solution is the solver output.
@@ -64,6 +68,8 @@ type Solution struct {
 	// Optimal is true when the search completed within budget; when
 	// false the solution is the best incumbent (always feasible).
 	Optimal bool
+	// Cancelled is true when Options.Cancel aborted the search.
+	Cancelled bool
 	// Nodes is the number of branch-and-bound nodes explored.
 	Nodes int
 }
@@ -81,7 +87,7 @@ func Solve(p Problem, opts Options) Solution {
 	n := len(p.Costs)
 	cons := sanitize(p, n)
 
-	s := &solver{p: p, cons: cons, n: n, maxNodes: maxNodes}
+	s := &solver{p: p, cons: cons, n: n, maxNodes: maxNodes, cancel: opts.Cancel}
 	s.groupsOf = make([][]int, n)
 	for gi, g := range p.Exclusive {
 		for _, v := range g {
@@ -109,9 +115,9 @@ func Solve(p Problem, opts Options) Solution {
 	if s.best == nil {
 		// No feasible solution found within budget (only possible with
 		// exclusivity groups); report explicitly.
-		return Solution{X: nil, Cost: inf, Optimal: false, Nodes: s.nodes}
+		return Solution{X: nil, Cost: inf, Optimal: false, Cancelled: s.cancelled, Nodes: s.nodes}
 	}
-	return Solution{X: s.best, Cost: s.bestCost, Optimal: !s.out, Nodes: s.nodes}
+	return Solution{X: s.best, Cost: s.bestCost, Optimal: !s.out, Cancelled: s.cancelled, Nodes: s.nodes}
 }
 
 func sanitize(p Problem, n int) []Constraint {
@@ -232,13 +238,15 @@ func totalCost(costs []float64, x []bool) float64 {
 }
 
 type solver struct {
-	p        Problem
-	cons     []Constraint
-	n        int
-	maxNodes int
-	nodes    int
-	out      bool
-	groupsOf [][]int // var -> indexes into p.Exclusive
+	p         Problem
+	cons      []Constraint
+	n         int
+	maxNodes  int
+	nodes     int
+	out       bool
+	cancel    func() bool
+	cancelled bool
+	groupsOf  [][]int // var -> indexes into p.Exclusive
 
 	best     []bool
 	bestCost float64
@@ -280,6 +288,11 @@ func (s *solver) branch(x []int8, cur float64) {
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		s.out = true
+		return
+	}
+	if s.cancel != nil && s.nodes&63 == 0 && s.cancel() {
+		s.out = true
+		s.cancelled = true
 		return
 	}
 	if cur+s.lowerBound(x) >= s.bestCost {

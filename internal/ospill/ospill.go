@@ -15,6 +15,7 @@
 package ospill
 
 import (
+	"errors"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,7 +48,14 @@ type Options struct {
 	// decision and the coloring phase report under it as child spans.
 	// Allocate does not End it; the caller owns it.
 	Trace *telemetry.Span
+	// Cancel, when non-nil, is polled by the ILP solver and between
+	// phases; returning true aborts Allocate with ErrCancelled.
+	Cancel func() bool
 }
+
+// ErrCancelled is returned by Allocate when Options.Cancel aborted the
+// allocation (typically a caller's context deadline or cancellation).
+var ErrCancelled = errors.New("ospill: allocation cancelled")
 
 // Stats reports how the spill decision went.
 type Stats struct {
@@ -67,6 +75,8 @@ type Stats struct {
 	// ILPNodes is the number of branch-and-bound nodes the solver
 	// explored (0 when no program was solved).
 	ILPNodes int
+	// Cancelled is true when the solve was aborted by a Cancel hook.
+	Cancelled bool
 }
 
 // SpillProblem builds the covering instance for f with K registers:
@@ -124,6 +134,13 @@ func conKey(vars []int, need int) string {
 // DecideSpills runs the optimal spill phase on f (without rewriting):
 // it returns the chosen spill set and whether it is provably optimal.
 func DecideSpills(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, Stats) {
+	return DecideSpillsCancel(f, k, maxNodes, nil)
+}
+
+// DecideSpillsCancel is DecideSpills with a cancellation hook polled by
+// the ILP solver; when it fires, the returned Stats report Cancelled
+// and the spill set is the best incumbent found so far.
+func DecideSpillsCancel(f *ir.Func, k, maxNodes int, cancel func() bool) (map[ir.Reg]bool, Stats) {
 	prob := SpillProblem(f, k)
 	st := Stats{Constraints: len(prob.Constraints)}
 	spills := make(map[ir.Reg]bool)
@@ -131,9 +148,10 @@ func DecideSpills(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, Stats) {
 		st.ILPOptimal = true
 		return spills, st
 	}
-	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes})
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Cancel: cancel})
 	st.ILPOptimal = sol.Optimal
 	st.ILPNodes = sol.Nodes
+	st.Cancelled = sol.Cancelled
 	for v, on := range sol.X {
 		if on {
 			spills[ir.Reg(v)] = true
@@ -148,6 +166,12 @@ func DecideSpills(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, Stats) {
 // spills. When the extended program yields no feasible solution within
 // budget, it falls back to the whole-range model (always feasible).
 func DecideSpillsExtended(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, []LoopSpillCandidate, Stats) {
+	return DecideSpillsExtendedCancel(f, k, maxNodes, nil)
+}
+
+// DecideSpillsExtendedCancel is DecideSpillsExtended with a
+// cancellation hook polled by the ILP solver.
+func DecideSpillsExtendedCancel(f *ir.Func, k, maxNodes int, cancel func() bool) (map[ir.Reg]bool, []LoopSpillCandidate, Stats) {
 	prob, cands := ExtendedSpillProblem(f, k)
 	st := Stats{Constraints: len(prob.Constraints)}
 	spills := make(map[ir.Reg]bool)
@@ -155,13 +179,14 @@ func DecideSpillsExtended(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, []LoopS
 		st.ILPOptimal = true
 		return spills, nil, st
 	}
-	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes})
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Cancel: cancel})
 	if sol.X == nil {
-		spills, st = DecideSpills(f, k, maxNodes)
+		spills, st = DecideSpillsCancel(f, k, maxNodes, cancel)
 		return spills, nil, st
 	}
 	st.ILPOptimal = sol.Optimal
 	st.ILPNodes = sol.Nodes
+	st.Cancelled = sol.Cancelled
 	n := f.NumRegs()
 	var chosen []LoopSpillCandidate
 	for v, on := range sol.X {
@@ -188,16 +213,20 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 	var st Stats
 	ilpSpan := opts.Trace.Child("ilp")
 	if opts.DisableLoopSpills {
-		spills, st = DecideSpills(work, opts.K, opts.MaxNodes)
+		spills, st = DecideSpillsCancel(work, opts.K, opts.MaxNodes, opts.Cancel)
 	} else {
-		spills, loopChosen, st = DecideSpillsExtended(work, opts.K, opts.MaxNodes)
+		spills, loopChosen, st = DecideSpillsExtendedCancel(work, opts.K, opts.MaxNodes, opts.Cancel)
 	}
 	ilpSpan.Add("constraints", int64(st.Constraints))
 	ilpSpan.Add("nodes", int64(st.ILPNodes))
 	ilpSpan.Add("spilled_ranges", int64(st.ILPSpilled))
 	ilpSpan.Add("loop_spills", int64(st.LoopSpilled))
 	ilpSpan.SetAttr("optimal", st.ILPOptimal)
+	ilpSpan.SetAttr("cancelled", st.Cancelled)
 	ilpSpan.End()
+	if st.Cancelled || (opts.Cancel != nil && opts.Cancel()) {
+		return nil, nil, nil, ErrCancelled
+	}
 
 	slots := regalloc.NewSlotAssigner()
 	stackParams := map[ir.Reg]int64{}

@@ -34,6 +34,11 @@ type Options struct {
 	// cost evaluations and the best-cost trajectory report on it. The
 	// search does not End it; the caller owns it.
 	Trace *telemetry.Span
+	// Cancel, when non-nil, is polled between greedy restarts;
+	// returning true stops the search early. The best permutation found
+	// so far is returned — remapping never invalidates an allocation,
+	// so an interrupted search still yields a usable result.
+	Cancel func() bool
 }
 
 // Result is the outcome of a remapping search.
@@ -172,6 +177,9 @@ func Greedy(g *adjacency.Graph, opts Options) *Result {
 	var trajectory []float64 // best cost after each improving restart
 	performed := 0
 	for r := 0; r < restarts; r++ {
+		if r > 0 && opts.Cancel != nil && opts.Cancel() {
+			break
+		}
 		performed++
 		perm := Identity(opts.RegN)
 		if r > 0 {

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+
+	"diffra"
+	"diffra/internal/ir"
+)
+
+// CacheKey derives the content address of a compile request: the
+// SHA-256 of the function's canonical printing plus every resolved
+// option that can change the output. Two requests producing the same
+// key produce byte-identical responses, so the second is served from
+// cache. Callers must pass *resolved* options (Options.Resolved) so a
+// request spelling out the defaults and one leaving them zero share an
+// entry.
+func CacheKey(f *ir.Func, opts diffra.Options, listing, explain bool) string {
+	h := sha256.New()
+	io.WriteString(h, f.String())
+	fmt.Fprintf(h, "\x00%s\x00%d\x00%d\x00%d\x00%t\x00%t",
+		opts.Scheme, opts.RegN, opts.DiffN, opts.Restarts, listing, explain)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// resultCache is a bounded LRU over compile responses, keyed by
+// CacheKey. Responses are plain values (no pointers into compiler
+// state), so returning a cached copy is safe under concurrency.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	resp Response
+}
+
+// newResultCache builds a cache bounded to max entries; max <= 0
+// disables caching (every lookup misses, every store is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, ll: list.New(), m: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(key string) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return Response{}, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*cacheEntry).resp, true
+}
+
+func (c *resultCache) put(key string, resp Response) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		e.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(e)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Handler returns the service's HTTP front end:
+//
+//	POST /compile   one Request as JSON -> one Response as JSON
+//	POST /batch     NDJSON stream of Requests -> NDJSON stream of
+//	                Responses in input order, flushed as they finish
+//	GET  /metrics   JSON snapshot of the metrics registry
+//	GET  /healthz   200 "ok"
+//
+// Request bodies are capped at Config.MaxRequestBytes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compile", s.handleCompile)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}
+
+// statusOf maps a failed Response to an HTTP status: 504 for
+// deadline/cancellation, 422 for semantic compile errors.
+func statusOf(resp Response) int {
+	if resp.Error == "" {
+		return http.StatusOK
+	}
+	if resp.Timeout {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	var req Request
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	resp := s.Compile(r.Context(), req)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(statusOf(resp))
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleBatch streams: requests are decoded one NDJSON value at a
+// time and submitted to the pool immediately, while a writer goroutine
+// emits responses in input order, flushing each one — so early
+// results reach the client while later compiles are still running.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	dec := json.NewDecoder(body)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	slots := make(chan chan Response, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for c := range slots {
+			enc.Encode(<-c)
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	ctx := r.Context()
+	for {
+		var req Request
+		err := dec.Decode(&req)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			c := make(chan Response, 1)
+			c <- errResponse(fmt.Errorf("service: bad batch line: %w", err))
+			slots <- c
+			break
+		}
+		c := make(chan Response, 1)
+		slots <- c
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			c <- s.Compile(ctx, req)
+		}(req)
+	}
+	close(slots)
+	wg.Wait()
+	<-writerDone
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.reg.Snapshot())
+}
+
+// HTTPServer wraps Server with a net/http server and graceful
+// shutdown: Shutdown stops accepting connections, waits for in-flight
+// requests to drain (their contexts are not cancelled), and only then
+// returns — cmd/diffrad calls it on SIGTERM/SIGINT.
+type HTTPServer struct {
+	*Server
+	hs *http.Server
+}
+
+// NewHTTP builds the service with its HTTP front end.
+func NewHTTP(cfg Config) *HTTPServer {
+	s := New(cfg)
+	return &HTTPServer{Server: s, hs: &http.Server{Handler: s.Handler()}}
+}
+
+// Serve accepts connections on l until Shutdown.
+func (h *HTTPServer) Serve(l net.Listener) error {
+	err := h.hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (h *HTTPServer) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return h.Serve(l)
+}
+
+// Shutdown drains in-flight requests; ctx bounds the wait.
+func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	return h.hs.Shutdown(ctx)
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"diffra/internal/telemetry"
+)
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func newTestHTTP(t *testing.T) (*HTTPServer, *httptest.Server) {
+	t.Helper()
+	h := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	ts := httptest.NewServer(h.Handler())
+	t.Cleanup(ts.Close)
+	return h, ts
+}
+
+func postCompile(t *testing.T, url string, req Request) (*http.Response, Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		t.Fatalf("decode (%s): %v", hr.Status, err)
+	}
+	return hr, resp
+}
+
+func TestHTTPCompileAndMetrics(t *testing.T) {
+	_, ts := newTestHTTP(t)
+
+	hr, resp := postCompile(t, ts.URL, Request{IR: tinyIR, Scheme: "select"})
+	if hr.StatusCode != http.StatusOK || resp.Error != "" {
+		t.Fatalf("status %s, resp %+v", hr.Status, resp)
+	}
+	if resp.Func != "tiny" || resp.Instrs == 0 {
+		t.Fatalf("unexpected response: %+v", resp)
+	}
+
+	// The identical repeat must be a cache hit, visible in /metrics.
+	_, resp = postCompile(t, ts.URL, Request{IR: tinyIR, Scheme: "select"})
+	if !resp.Cached {
+		t.Fatal("repeat request was not served from cache")
+	}
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mr.Body.Close()
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.NewDecoder(mr.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["service_cache_hits"] != 1 {
+		t.Fatalf("metrics report %d cache hits, want 1 (%v)", snap.Counters["service_cache_hits"], snap.Counters)
+	}
+	if snap.Counters["service_requests"] != 2 {
+		t.Fatalf("metrics report %d requests, want 2", snap.Counters["service_requests"])
+	}
+}
+
+func TestHTTPStatusCodes(t *testing.T) {
+	_, ts := newTestHTTP(t)
+
+	hr, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: status %s, want 400", hr.Status)
+	}
+
+	hr, _ = postCompile(t, ts.URL, Request{IR: "garbage"})
+	if hr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad IR: status %s, want 422", hr.Status)
+	}
+
+	hr, resp := postCompile(t, ts.URL, Request{
+		IR: slowIR(4, 10), Scheme: "ospill", RegN: 6, TimeoutMs: 1,
+	})
+	if hr.StatusCode != http.StatusGatewayTimeout || !resp.Timeout {
+		t.Fatalf("deadline: status %s, resp %+v, want 504/timeout", hr.Status, resp)
+	}
+
+	gr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %s", gr.Status)
+	}
+}
+
+func TestHTTPBatchStreamsInOrder(t *testing.T) {
+	_, ts := newTestHTTP(t)
+
+	var in bytes.Buffer
+	const n = 6
+	for i := 0; i < n; i++ {
+		ir := strings.Replace(tinyIR, "func tiny", fmt.Sprintf("func tiny%d", i), 1)
+		if err := json.NewEncoder(&in).Encode(Request{IR: ir, Scheme: "select"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hr, err := http.Post(ts.URL+"/batch", "application/x-ndjson", &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if ct := hr.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(hr.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	got := 0
+	for sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatalf("line %d: %v", got, err)
+		}
+		if resp.Error != "" {
+			t.Fatalf("line %d: %s", got, resp.Error)
+		}
+		if want := fmt.Sprintf("tiny%d", got); resp.Func != want {
+			t.Fatalf("line %d: func %q, want %q (responses out of order)", got, resp.Func, want)
+		}
+		got++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Fatalf("got %d responses, want %d", got, n)
+	}
+}
+
+func TestHTTPGracefulShutdownDrains(t *testing.T) {
+	h := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	l := newLocalListener(t)
+	done := make(chan error, 1)
+	go func() { done <- h.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	// Start a compile slow enough to still be in flight when Shutdown
+	// begins; Shutdown must wait for it and the response arrive intact.
+	// (Kept small: under -race the solve runs an order of magnitude
+	// slower and still has to drain within the budget.)
+	respc := make(chan Response, 1)
+	go func() {
+		_, resp := postCompileURL(base, Request{IR: slowIR(2, 10), Scheme: "ospill", RegN: 6})
+		respc <- resp
+	}()
+	time.Sleep(50 * time.Millisecond)
+	sctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := h.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	resp := <-respc
+	if resp.Error != "" {
+		t.Fatalf("in-flight request dropped during shutdown: %s", resp.Error)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}
+
+func postCompileURL(base string, req Request) (int, Response) {
+	body, _ := json.Marshal(req)
+	hr, err := http.Post(base+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, Response{Error: err.Error()}
+	}
+	defer hr.Body.Close()
+	var resp Response
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return hr.StatusCode, Response{Error: err.Error()}
+	}
+	return hr.StatusCode, resp
+}

@@ -1,0 +1,279 @@
+// Package service turns the diffra compiler into a
+// compilation-as-a-service subsystem: a bounded worker pool sized to
+// GOMAXPROCS, a content-addressed LRU cache over compile results, and
+// an HTTP front end (cmd/diffrad) accepting single JSON requests and a
+// streaming NDJSON batch mode. Per-request deadlines and client
+// cancellation propagate through diffra.CompileFuncContext into the
+// long-running searches (the optimal-spill ILP above all), so an
+// abandoned request stops burning CPU instead of leaking a goroutine.
+//
+// The same Pool drives the experiments harness
+// (internal/experiments), so regenerating the paper's tables exploits
+// every core through one concurrency bound.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"diffra"
+	"diffra/internal/diffenc"
+	"diffra/internal/ir"
+	"diffra/internal/telemetry"
+)
+
+// Request is one compilation job. Zero-valued fields take the facade
+// defaults (scheme select, RegN 12, DiffN min(8, RegN), 1000
+// restarts, the server's default timeout).
+type Request struct {
+	// IR is the function in the textual format of internal/ir.Parse.
+	IR string `json:"ir"`
+	// Scheme is baseline|remapping|select|ospill|coalesce.
+	Scheme string `json:"scheme,omitempty"`
+	// RegN / DiffN / Restarts mirror diffra.Options.
+	RegN     int `json:"regn,omitempty"`
+	DiffN    int `json:"diffn,omitempty"`
+	Restarts int `json:"restarts,omitempty"`
+	// TimeoutMs bounds this request's compile time; 0 uses the server
+	// default. The deadline also covers time spent queued for a worker.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Listing asks for the decoder's-eye encoded listing (differential
+	// schemes only).
+	Listing bool `json:"listing,omitempty"`
+	// Explain asks for the set_last_reg attribution report.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// Response is the outcome of one Request. Error is set (and the other
+// fields zero) when the compilation failed or timed out.
+type Response struct {
+	Func   string `json:"func,omitempty"`
+	Scheme string `json:"scheme,omitempty"`
+	RegN   int    `json:"regn,omitempty"`
+	DiffN  int    `json:"diffn,omitempty"`
+	// Static costs over the final code.
+	Instrs         int `json:"instrs,omitempty"`
+	SpillInstrs    int `json:"spill_instrs,omitempty"`
+	SetLastRegs    int `json:"set_last_regs,omitempty"`
+	RangeSets      int `json:"range_sets,omitempty"`
+	JoinSets       int `json:"join_sets,omitempty"`
+	SpilledVRegs   int `json:"spilled_vregs,omitempty"`
+	CoalescedMoves int `json:"coalesced_moves,omitempty"`
+	// Field widths of this geometry: direct encoding needs RegW bits
+	// per operand field, differential DiffW.
+	RegW  int `json:"regw,omitempty"`
+	DiffW int `json:"diffw,omitempty"`
+	// Listing / Explain are filled when requested.
+	Listing string `json:"listing,omitempty"`
+	Explain string `json:"explain,omitempty"`
+	// Cached reports that the response was served from the
+	// content-addressed cache without recompiling.
+	Cached bool `json:"cached,omitempty"`
+	// Error is the compile error, "" on success. Timeouts and
+	// cancellations mention the context error text.
+	Error string `json:"error,omitempty"`
+	// Timeout distinguishes deadline/cancellation failures from
+	// semantic compile errors.
+	Timeout bool `json:"timeout,omitempty"`
+}
+
+// Config parameterizes a Server. The zero value is usable.
+type Config struct {
+	// Workers bounds concurrent compilations (<= 0: GOMAXPROCS).
+	Workers int
+	// CacheEntries bounds the result cache (0: 1024; negative:
+	// caching disabled).
+	CacheEntries int
+	// MaxRequestBytes bounds a request body and the IR source inside
+	// it (0: 1 MiB).
+	MaxRequestBytes int64
+	// DefaultTimeout bounds requests that do not set TimeoutMs
+	// (0: 30s).
+	DefaultTimeout time.Duration
+	// Registry receives the service metrics (nil: telemetry.Default).
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = 1 << 20
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default
+	}
+	return c
+}
+
+// Server is the compilation service: pool + cache + metrics. It is
+// safe for concurrent use; the HTTP layer in http.go is one front end,
+// ServeBatch and Compile are the in-process ones.
+type Server struct {
+	cfg      Config
+	pool     *Pool
+	cache    *resultCache
+	reg      *telemetry.Registry
+	inflight atomic.Int64
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:   cfg,
+		pool:  NewPool(cfg.Workers),
+		cache: newResultCache(cfg.CacheEntries),
+		reg:   cfg.Registry,
+	}
+}
+
+// Pool exposes the server's worker pool so other subsystems (the
+// experiments harness, batch drivers) share its concurrency bound.
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Registry exposes the metrics registry the server records into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+func errResponse(err error) Response {
+	r := Response{Error: err.Error()}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		r.Timeout = true
+	}
+	return r
+}
+
+// Compile serves one request: validate, consult the cache, then
+// compile on a pool slot under the request deadline. It never panics
+// on malformed input — every failure is a Response with Error set.
+func (s *Server) Compile(ctx context.Context, req Request) Response {
+	s.reg.Counter("service_requests").Inc()
+	resp := s.compileCached(ctx, req)
+	if resp.Error != "" {
+		if resp.Timeout {
+			s.reg.Counter("service_timeouts").Inc()
+		} else {
+			s.reg.Counter("service_errors").Inc()
+		}
+	}
+	return resp
+}
+
+func (s *Server) compileCached(ctx context.Context, req Request) Response {
+	if int64(len(req.IR)) > s.cfg.MaxRequestBytes {
+		return errResponse(fmt.Errorf("service: ir source %d bytes exceeds limit %d", len(req.IR), s.cfg.MaxRequestBytes))
+	}
+	opts, err := diffra.Options{
+		Scheme:   diffra.Scheme(req.Scheme),
+		RegN:     req.RegN,
+		DiffN:    req.DiffN,
+		Restarts: req.Restarts,
+	}.Resolved()
+	if err != nil {
+		return errResponse(err)
+	}
+	switch opts.Scheme {
+	case diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce:
+	default:
+		return errResponse(fmt.Errorf("service: unknown scheme %q", opts.Scheme))
+	}
+	f, err := ir.Parse(req.IR)
+	if err != nil {
+		return errResponse(err)
+	}
+
+	key := CacheKey(f, opts, req.Listing, req.Explain)
+	if resp, ok := s.cache.get(key); ok {
+		s.reg.Counter("service_cache_hits").Inc()
+		resp.Cached = true
+		return resp
+	}
+	s.reg.Counter("service_cache_misses").Inc()
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var resp Response
+	s.reg.Gauge("service_inflight").Set(s.inflight.Add(1))
+	defer func() { s.reg.Gauge("service_inflight").Set(s.inflight.Add(-1)) }()
+	started := time.Now()
+	err = s.pool.Do(ctx, func() {
+		resp = s.compile(ctx, f, opts, req)
+	})
+	s.reg.Histogram("service_compile_us").Observe(time.Since(started).Microseconds())
+	if err != nil {
+		// The deadline fired while the request was still queued.
+		return errResponse(fmt.Errorf("service: queued past deadline: %w", err))
+	}
+	if resp.Error == "" {
+		s.cache.put(key, resp)
+		s.reg.Gauge("service_cache_entries").Set(int64(s.cache.len()))
+	}
+	return resp
+}
+
+// compile runs the facade under ctx and renders the response.
+func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, req Request) Response {
+	res, err := diffra.CompileFuncContext(ctx, f, opts)
+	if err != nil {
+		return errResponse(err)
+	}
+	regW, diffW := diffra.FieldWidths(opts.RegN, opts.DiffN)
+	resp := Response{
+		Func:           res.F.Name,
+		Scheme:         string(opts.Scheme),
+		RegN:           opts.RegN,
+		DiffN:          opts.DiffN,
+		Instrs:         res.Instrs,
+		SpillInstrs:    res.SpillInstrs,
+		SetLastRegs:    res.SetLastRegs,
+		SpilledVRegs:   res.Assignment.SpilledVRegs,
+		CoalescedMoves: res.Assignment.CoalescedMoves,
+		RegW:           regW,
+		DiffW:          diffW,
+	}
+	if enc := res.Encoding; enc != nil {
+		resp.RangeSets = enc.RangeSets()
+		resp.JoinSets = enc.JoinSets
+		cfg := diffenc.Config{RegN: opts.RegN, DiffN: opts.DiffN}
+		regOf := func(r ir.Reg) int { return res.Assignment.Color[r] }
+		if req.Listing {
+			resp.Listing = diffenc.AppliedListing(res.F, regOf, cfg, enc)
+		}
+		if req.Explain {
+			resp.Explain = diffenc.ExplainString(res.F.Name, enc)
+		}
+	}
+	return resp
+}
+
+// ServeBatch compiles every request through the pool and returns the
+// responses in input order. Individual failures land in their
+// Response; ServeBatch itself never fails. The experiments harness
+// uses this path to compile workload×scheme grids.
+func (s *Server) ServeBatch(ctx context.Context, reqs []Request) []Response {
+	s.reg.Counter("service_batches").Inc()
+	out := make([]Response, len(reqs))
+	done := make(chan int)
+	for i := range reqs {
+		go func(i int) {
+			out[i] = s.Compile(ctx, reqs[i])
+			done <- i
+		}(i)
+	}
+	for range reqs {
+		<-done
+	}
+	return out
+}

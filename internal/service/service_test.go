@@ -1,0 +1,274 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"diffra/internal/telemetry"
+)
+
+// slowIR builds a function whose optimal-spill ILP is expensive:
+// `blocks` disjoint clusters of `w` simultaneously-live ranges give
+// the branch-and-bound a loose per-constraint bound, so an uncancelled
+// solve at K=6 runs for on the order of a second (it hits the node
+// budget). The cancellation tests rely on interrupting it mid-solve.
+func slowIR(blocks, w int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func slow(v0) {\nentry:\n")
+	next := 1
+	fmt.Fprintf(&b, "  v%d = li 0\n", next)
+	acc := next
+	next++
+	for blk := 0; blk < blocks; blk++ {
+		vars := make([]int, w)
+		for i := 0; i < w; i++ {
+			fmt.Fprintf(&b, "  v%d = li %d\n", next, blk*w+i)
+			vars[i] = next
+			next++
+		}
+		prev := vars[0]
+		for i := 1; i < w; i++ {
+			fmt.Fprintf(&b, "  v%d = add v%d, v%d\n", next, prev, vars[i])
+			prev = next
+			next++
+		}
+		fmt.Fprintf(&b, "  v%d = xor v%d, v%d\n", next, acc, prev)
+		acc = next
+		next++
+	}
+	fmt.Fprintf(&b, "  ret v%d\n}\n", acc)
+	return b.String()
+}
+
+const tinyIR = `func tiny(v0) {
+entry:
+  v1 = li 1
+  v2 = add v0, v1
+  ret v2
+}
+`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	return New(cfg)
+}
+
+// waitGoroutines polls until the goroutine count drops back to the
+// baseline (small slack for runtime helpers), failing after 5s.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now, %d at start", n, base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDeadlineAbortsOspill is the headline acceptance check: a
+// 1ms-deadline request against an ILP that runs ~1s uncancelled must
+// come back promptly, flagged as a timeout, without leaking a
+// goroutine.
+func TestDeadlineAbortsOspill(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv := newTestServer(t, Config{})
+
+	started := time.Now()
+	resp := srv.Compile(context.Background(), Request{
+		IR: slowIR(4, 10), Scheme: "ospill", RegN: 6, TimeoutMs: 1,
+	})
+	elapsed := time.Since(started)
+
+	if resp.Error == "" {
+		t.Fatal("deadline-bound ospill request succeeded; instance not slow enough")
+	}
+	if !resp.Timeout {
+		t.Fatalf("Timeout not set on deadline error: %q", resp.Error)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("timeout was not prompt: took %v", elapsed)
+	}
+	if got := srv.Registry().Counter("service_timeouts").Value(); got != 1 {
+		t.Fatalf("service_timeouts = %d, want 1", got)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestCancelStopsInflightSolve cancels the request context while the
+// ILP is running; the compile must return well before the solve would
+// finish on its own (~1.5s+).
+func TestCancelStopsInflightSolve(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv := newTestServer(t, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	started := time.Now()
+	resp := srv.Compile(ctx, Request{IR: slowIR(6, 12), Scheme: "ospill", RegN: 6})
+	elapsed := time.Since(started)
+
+	if resp.Error == "" {
+		t.Fatal("cancelled request reported success; the solve ran to completion")
+	}
+	if !resp.Timeout {
+		t.Fatalf("cancellation not classified as timeout: %q", resp.Error)
+	}
+	if elapsed > 1200*time.Millisecond {
+		t.Fatalf("cancellation was not prompt: took %v", elapsed)
+	}
+	waitGoroutines(t, base)
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	req := Request{IR: tinyIR, Scheme: "select"}
+
+	first := srv.Compile(context.Background(), req)
+	if first.Error != "" {
+		t.Fatalf("first compile: %s", first.Error)
+	}
+	if first.Cached {
+		t.Fatal("first compile claims a cache hit")
+	}
+	second := srv.Compile(context.Background(), req)
+	if second.Error != "" {
+		t.Fatalf("second compile: %s", second.Error)
+	}
+	if !second.Cached {
+		t.Fatal("identical repeat was not a cache hit")
+	}
+	second.Cached = false
+	if first != second {
+		t.Fatalf("cached response differs:\n%+v\n%+v", first, second)
+	}
+	reg := srv.Registry()
+	if h := reg.Counter("service_cache_hits").Value(); h != 1 {
+		t.Fatalf("cache hits = %d, want 1", h)
+	}
+	if m := reg.Counter("service_cache_misses").Value(); m != 1 {
+		t.Fatalf("cache misses = %d, want 1", m)
+	}
+}
+
+// TestCacheKeyResolvesDefaults: spelling out the defaults and leaving
+// them zero must share one cache entry.
+func TestCacheKeyResolvesDefaults(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	if r := srv.Compile(context.Background(), Request{IR: tinyIR}); r.Error != "" {
+		t.Fatalf("compile: %s", r.Error)
+	}
+	r := srv.Compile(context.Background(), Request{
+		IR: tinyIR, Scheme: "select", RegN: 12, DiffN: 8, Restarts: 1000,
+	})
+	if r.Error != "" {
+		t.Fatalf("compile: %s", r.Error)
+	}
+	if !r.Cached {
+		t.Fatal("explicit-defaults request missed the zero-value entry")
+	}
+}
+
+func TestBadRequestsAreErrorsNotPanics(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	for _, req := range []Request{
+		{IR: "not ir at all"},
+		{IR: tinyIR, Scheme: "no-such-scheme"},
+		{IR: tinyIR, Scheme: "select", RegN: 4, DiffN: 9}, // DiffN > RegN
+		{IR: strings.Repeat("x", 2<<20)},                  // over the size limit
+	} {
+		resp := srv.Compile(context.Background(), req)
+		if resp.Error == "" {
+			t.Fatalf("bad request %+v reported success", req)
+		}
+		if resp.Timeout {
+			t.Fatalf("validation failure misclassified as timeout: %q", resp.Error)
+		}
+	}
+	if e := srv.Registry().Counter("service_errors").Value(); e != 4 {
+		t.Fatalf("service_errors = %d, want 4", e)
+	}
+}
+
+func TestServeBatchOrderAndIsolation(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	reqs := []Request{
+		{IR: tinyIR, Scheme: "select"},
+		{IR: "garbage"},
+		{IR: tinyIR, Scheme: "baseline", RegN: 8, DiffN: 8},
+		{IR: tinyIR, Scheme: "coalesce"},
+	}
+	resps := srv.ServeBatch(context.Background(), reqs)
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	if resps[0].Error != "" || resps[0].Scheme != "select" {
+		t.Fatalf("resp 0: %+v", resps[0])
+	}
+	if resps[1].Error == "" {
+		t.Fatal("bad request in batch reported success")
+	}
+	if resps[2].Error != "" || resps[2].Scheme != "baseline" {
+		t.Fatalf("resp 2: %+v", resps[2])
+	}
+	if resps[3].Error != "" || resps[3].Scheme != "coalesce" {
+		t.Fatalf("resp 3: %+v", resps[3])
+	}
+	if b := srv.Registry().Counter("service_batches").Value(); b != 1 {
+		t.Fatalf("service_batches = %d, want 1", b)
+	}
+}
+
+func TestConcurrentCompilesShareOneRegistry(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 4, CacheEntries: -1})
+	const n = 16
+	done := make(chan Response, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			ir := strings.Replace(tinyIR, "func tiny", fmt.Sprintf("func tiny%d", i), 1)
+			done <- srv.Compile(context.Background(), Request{IR: ir, Scheme: "select"})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if resp := <-done; resp.Error != "" {
+			t.Fatalf("concurrent compile failed: %s", resp.Error)
+		}
+	}
+	reg := srv.Registry()
+	if got := reg.Counter("service_requests").Value(); got != n {
+		t.Fatalf("service_requests = %d, want %d", got, n)
+	}
+	if got := reg.Gauge("service_inflight").Value(); got != 0 {
+		t.Fatalf("service_inflight = %d after drain, want 0", got)
+	}
+}
+
+func TestListingAndExplainRendered(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	resp := srv.Compile(context.Background(), Request{
+		IR: slowIR(2, 10), Scheme: "select", Listing: true, Explain: true,
+	})
+	if resp.Error != "" {
+		t.Fatalf("compile: %s", resp.Error)
+	}
+	if resp.Listing == "" {
+		t.Fatal("listing requested but empty")
+	}
+	if resp.Explain == "" {
+		t.Fatal("explain requested but empty")
+	}
+}

@@ -94,7 +94,10 @@ func bucketOf(v int64) int {
 
 // HistogramSnapshot is a point-in-time view of a histogram.
 type HistogramSnapshot struct {
-	Count, Sum, Min, Max int64
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Min   int64 `json:"min"`
+	Max   int64 `json:"max"`
 }
 
 // Mean returns the average observation, or NaN when empty.
@@ -165,9 +168,9 @@ func (r *Registry) Histogram(name string) *Histogram {
 
 // Snapshot is a stable, sorted view of a registry.
 type Snapshot struct {
-	Counters   map[string]int64
-	Gauges     map[string]int64
-	Histograms map[string]HistogramSnapshot
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
 // Snapshot captures every instrument's current value.

@@ -16,6 +16,11 @@
 // remapping (§5), select (§6), ospill (optimal spilling, direct),
 // coalesce (§7).
 //
+// -selfcheck oracles the compile before reporting: the allocated
+// program — run directly and through both stream-decode models — must
+// reproduce the source's reference interpretation on a deterministic
+// input, or diffra exits non-zero with the first divergence.
+//
 // Observability flags: -trace FILE writes the compile span tree as
 // JSON lines (one span per line; "-" for stdout), -metrics prints the
 // process-wide metrics registry on exit, -explain-slr attributes every
@@ -39,6 +44,7 @@ import (
 
 	"diffra"
 	"diffra/internal/diffenc"
+	"diffra/internal/difftest"
 	"diffra/internal/ir"
 	"diffra/internal/pipeline"
 	"diffra/internal/service"
@@ -60,6 +66,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to FILE")
 	addr := flag.String("addr", "", "compile remotely via a diffrad server at HOST:PORT instead of in-process")
 	timeoutMs := flag.Int("timeout-ms", 0, "remote compile deadline in milliseconds (with -addr; 0 = server default)")
+	selfCheck := flag.Bool("selfcheck", false, "oracle the compile against the reference interpreter (in-process only)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: diffra [flags] program.ir")
@@ -71,7 +78,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		remote(*addr, service.Request{
+		err = remote(os.Stdout, *addr, service.Request{
 			IR:        string(src),
 			Scheme:    *scheme,
 			RegN:      *regN,
@@ -81,6 +88,9 @@ func main() {
 			Listing:   *listing,
 			Explain:   *explainSLR,
 		})
+		if err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -156,6 +166,14 @@ func main() {
 		fmt.Printf("set_last_reg   0 (scheme %q encodes directly)\n", *scheme)
 	}
 
+	if *selfCheck {
+		spec := difftest.DefaultSpec(f)
+		if err := difftest.CheckCompiled(f, res, spec); err != nil {
+			fatal(fmt.Errorf("selfcheck: %w", err))
+		}
+		fmt.Printf("selfcheck      ok (allocated + sequential/parallel decode vs reference, args=%v)\n", spec.Args)
+	}
+
 	if *dump {
 		fmt.Println()
 		fmt.Print(out)
@@ -211,46 +229,56 @@ func main() {
 }
 
 // remote ships the request to a diffrad server and renders the
-// response in the same shape as a local compile.
-func remote(addr string, req service.Request) {
+// response to w in the same shape as a local compile. Every failure —
+// transport, a non-JSON reply, or a compile error reported by the
+// server — comes back as an error carrying the server's message, so
+// main exits non-zero with the cause on stderr.
+func remote(w io.Writer, addr string, req service.Request) error {
 	body, err := json.Marshal(req)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if !strings.Contains(addr, "://") {
 		addr = "http://" + addr
 	}
 	hr, err := http.Post(addr+"/compile", "application/json", bytes.NewReader(body))
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	defer hr.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hr.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("reading response (%s): %v", hr.Status, err)
+	}
 	var resp service.Response
-	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
-		fatal(fmt.Errorf("bad response (%s): %v", hr.Status, err))
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		// Not a service Response (wrong endpoint, proxy error page):
+		// surface the status and whatever the server said verbatim.
+		return fmt.Errorf("server %s: %s", hr.Status, strings.TrimSpace(string(raw)))
 	}
 	if resp.Error != "" {
-		fatal(fmt.Errorf("%s", resp.Error))
+		return fmt.Errorf("%s", resp.Error)
 	}
-	fmt.Printf("function       %s (remote%s)\n", resp.Func, map[bool]string{true: ", cached", false: ""}[resp.Cached])
-	fmt.Printf("scheme         %s (RegN=%d DiffN=%d)\n", resp.Scheme, resp.RegN, resp.DiffN)
-	fmt.Printf("instructions   %d\n", resp.Instrs)
-	fmt.Printf("spill instrs   %d (%.2f%%)\n", resp.SpillInstrs, pct(resp.SpillInstrs, resp.Instrs))
-	fmt.Printf("spilled ranges %d\n", resp.SpilledVRegs)
-	fmt.Printf("moves removed  %d\n", resp.CoalescedMoves)
+	fmt.Fprintf(w, "function       %s (remote%s)\n", resp.Func, map[bool]string{true: ", cached", false: ""}[resp.Cached])
+	fmt.Fprintf(w, "scheme         %s (RegN=%d DiffN=%d)\n", resp.Scheme, resp.RegN, resp.DiffN)
+	fmt.Fprintf(w, "instructions   %d\n", resp.Instrs)
+	fmt.Fprintf(w, "spill instrs   %d (%.2f%%)\n", resp.SpillInstrs, pct(resp.SpillInstrs, resp.Instrs))
+	fmt.Fprintf(w, "spilled ranges %d\n", resp.SpilledVRegs)
+	fmt.Fprintf(w, "moves removed  %d\n", resp.CoalescedMoves)
 	if resp.SetLastRegs > 0 || resp.DiffW > 0 {
-		fmt.Printf("field width    %d bits (direct would need %d)\n", resp.DiffW, resp.RegW)
-		fmt.Printf("set_last_reg   %d (%d out-of-range, %d join), %.2f%% of code after insertion\n",
+		fmt.Fprintf(w, "field width    %d bits (direct would need %d)\n", resp.DiffW, resp.RegW)
+		fmt.Fprintf(w, "set_last_reg   %d (%d out-of-range, %d join), %.2f%% of code after insertion\n",
 			resp.SetLastRegs, resp.RangeSets, resp.JoinSets, pct(resp.SetLastRegs, resp.Instrs))
 	}
 	if resp.Explain != "" {
-		fmt.Println()
-		fmt.Print(resp.Explain)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, resp.Explain)
 	}
 	if resp.Listing != "" {
-		fmt.Println()
-		fmt.Print(resp.Listing)
+		fmt.Fprintln(w)
+		fmt.Fprint(w, resp.Listing)
 	}
+	return nil
 }
 
 func parseArgs(s string) ([]int64, error) {

@@ -38,6 +38,7 @@ func main() {
 	maxBytes := flag.Int64("max-request-bytes", 1<<20, "request body / IR source size limit")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain limit")
+	selfCheck := flag.Int("selfcheck", 0, "shadow-oracle every Nth successful compile against the reference interpreter (0 = off; see service_selfcheck_* metrics)")
 	flag.Parse()
 
 	srv := service.NewHTTP(service.Config{
@@ -45,6 +46,7 @@ func main() {
 		CacheEntries:    *cacheEntries,
 		MaxRequestBytes: *maxBytes,
 		DefaultTimeout:  *timeout,
+		SelfCheck:       *selfCheck,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -78,17 +78,29 @@ func (o *Options) fill() error {
 	if o.RegN == 0 {
 		o.RegN = 12
 	}
+	if o.RegN < 2 {
+		return fmt.Errorf("diffra: RegN=%d: need at least 2 registers", o.RegN)
+	}
 	if o.DiffN == 0 {
 		o.DiffN = 8
 		if o.DiffN > o.RegN {
 			o.DiffN = o.RegN
 		}
 	}
+	if o.DiffN < 1 {
+		return fmt.Errorf("diffra: DiffN=%d: difference count must be positive", o.DiffN)
+	}
 	if o.DiffN > o.RegN {
 		return fmt.Errorf("diffra: DiffN=%d exceeds RegN=%d: cannot encode more differences than registers", o.DiffN, o.RegN)
 	}
 	if o.Restarts == 0 {
 		o.Restarts = 1000
+	}
+	// Canonicalization: schemes that never run the remapping search
+	// resolve Restarts to 0, so two requests differing only in an
+	// irrelevant Restarts value share a cache entry downstream.
+	if o.Scheme == Baseline || o.Scheme == OSpill {
+		o.Restarts = 0
 	}
 	return nil
 }
@@ -103,10 +115,12 @@ func (o Options) Resolved() (Options, error) {
 }
 
 // validateSeq checks a sequence-codec geometry with the same error
-// shape Options.fill uses for Compile.
+// shape Options.fill uses for Compile, and the same bounds
+// diffenc.Config.Validate enforces (RegN >= 2 in particular, so the
+// facade and the codec never disagree about a boundary geometry).
 func validateSeq(regN, diffN int) error {
-	if regN <= 0 {
-		return fmt.Errorf("diffra: RegN=%d: register count must be positive", regN)
+	if regN < 2 {
+		return fmt.Errorf("diffra: RegN=%d: need at least 2 registers", regN)
 	}
 	if diffN <= 0 {
 		return fmt.Errorf("diffra: DiffN=%d: difference count must be positive", diffN)

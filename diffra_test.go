@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"diffra/internal/diffenc"
 	"diffra/internal/telemetry"
 )
 
@@ -138,6 +139,74 @@ func TestDiffNExceedsRegNRejected(t *testing.T) {
 	}
 	if res.Instrs == 0 {
 		t.Fatal("empty result")
+	}
+}
+
+func TestOptionsResolvedCanonicalizes(t *testing.T) {
+	// DiffN defaults to min(8, RegN).
+	o, err := Options{Scheme: Baseline, RegN: 4}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.DiffN != 4 {
+		t.Fatalf("DiffN default = %d, want 4", o.DiffN)
+	}
+	// Schemes that never run the remapping search resolve Restarts to
+	// 0 regardless of the requested value, so cache keys match.
+	o, err = Options{Scheme: Baseline, Restarts: 500}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Restarts != 0 {
+		t.Fatalf("Baseline Restarts = %d, want 0", o.Restarts)
+	}
+	o, err = Options{Scheme: OSpill, Restarts: 7}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Restarts != 0 {
+		t.Fatalf("OSpill Restarts = %d, want 0", o.Restarts)
+	}
+	// Differential schemes keep the requested budget and default it.
+	o, err = Options{Scheme: Select}.Resolved()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Restarts != 1000 {
+		t.Fatalf("Select Restarts default = %d, want 1000", o.Restarts)
+	}
+}
+
+func TestGeometryValidationBoundaries(t *testing.T) {
+	// The facade and diffenc.Config.Validate agree: RegN=1 is invalid
+	// (a 1-register file has no differences to encode), and negative
+	// DiffN must not sneak past the zero-value defaulting.
+	if _, err := Compile(sample, Options{RegN: 1, DiffN: 1}); err == nil {
+		t.Fatal("RegN=1 accepted")
+	}
+	if _, err := Compile(sample, Options{RegN: 8, DiffN: -3}); err == nil {
+		t.Fatal("negative DiffN accepted")
+	}
+	if _, _, err := EncodeSequence([]int{0}, 1, 1); err == nil {
+		t.Fatal("sequence codec accepted RegN=1")
+	}
+	if _, _, err := EncodeSequence([]int{0, 1}, 8, -1); err == nil {
+		t.Fatal("sequence codec accepted negative DiffN")
+	}
+	// DiffN == RegN is a valid boundary, including at a register count
+	// that is not a power of two. The full alphabet makes every
+	// difference encodable, so range repairs must vanish; join repairs
+	// may remain (decode state is still path-dependent).
+	for _, regN := range []int{2, 12, 31} {
+		res, err := Compile(sample, Options{Scheme: Select, RegN: regN, DiffN: regN, Restarts: 10})
+		if err != nil {
+			t.Fatalf("RegN=DiffN=%d: %v", regN, err)
+		}
+		for _, s := range res.Encoding.Sets {
+			if s.Reason == diffenc.ReasonRange {
+				t.Fatalf("RegN=DiffN=%d: full alphabet emitted a range repair (value %d)", regN, s.Value)
+			}
+		}
 	}
 }
 

@@ -38,18 +38,14 @@ func Check(f *ir.Func, regOf func(ir.Reg) int, cfg Config, res *Result) error {
 		return fmt.Errorf("diffenc: code stream has %d extra codes", len(res.Codes)-codeIdx)
 	}
 
-	// Sets per block, ordered by (Before, effective delay).
+	// Sets per block, in the shared decode order (OrderSets) — the
+	// same order ApplyToIR lays them out in the instruction stream.
 	blockSets := make([][]SetPoint, len(f.Blocks))
 	for _, s := range res.Sets {
 		blockSets[s.Block.Index] = append(blockSets[s.Block.Index], s)
 	}
 	for _, sets := range blockSets {
-		sort.SliceStable(sets, func(i, j int) bool {
-			if sets[i].Before != sets[j].Before {
-				return sets[i].Before < sets[j].Before
-			}
-			return effK(sets[i]) < effK(sets[j])
-		})
+		OrderSets(sets)
 	}
 
 	type state map[int]map[int]bool // class -> possible last_reg values
@@ -89,7 +85,7 @@ func Check(f *ir.Func, regOf func(ir.Reg) int, cfg Config, res *Result) error {
 		si := 0
 		var base map[int]int // per-instruction mode: class -> base value
 		applySets := func(instr, field int) {
-			for si < len(sets) && sets[si].Before == instr && effK(sets[si]) == field {
+			for si < len(sets) && sets[si].Before == instr && sets[si].EffectiveField() == field {
 				v := sets[si].Value
 				s[cfg.classOf(v)] = map[int]bool{v: true}
 				if base != nil {
@@ -227,13 +223,6 @@ func Check(f *ir.Func, regOf func(ir.Reg) int, cfg Config, res *Result) error {
 		}
 	}
 	return nil
-}
-
-func effK(s SetPoint) int {
-	if s.Delay < 0 {
-		return 0
-	}
-	return s.Delay
 }
 
 func keys(m map[int]bool) []int {

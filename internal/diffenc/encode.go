@@ -32,6 +32,19 @@ func fieldsOf(in *ir.Instr, cfg Config) []ir.Reg {
 	return fields
 }
 
+// FieldsOf returns an instruction's register fields in the configured
+// access order — the exact operand stream the encoder walks and a
+// decoder consumes. Exported for the difftest stream decoders, which
+// must agree with the encoder field-for-field.
+func (c Config) FieldsOf(in *ir.Instr) []ir.Reg { return fieldsOf(in, c) }
+
+// Class returns reg's register class (0 when ClassOf is nil).
+func (c Config) Class(reg int) int { return c.classOf(reg) }
+
+// ReservedCode returns the direct code assigned to a reserved register
+// and whether reg is reserved at all.
+func (c Config) ReservedCode(reg int) (int, bool) { return c.reservedCode(reg) }
+
 // AccessSequence extracts the register access sequence of an allocated
 // function in the paper's default order (src1, src2, ..., dst). regOf
 // maps a vreg operand to its machine register. For alternate orders
@@ -113,6 +126,38 @@ type SetPoint struct {
 	// Disagree lists, for join repairs, the predecessors whose
 	// last_reg out-values conflicted (empty for range repairs).
 	Disagree []JoinSource
+}
+
+// EffectiveField returns the field index of the instruction at Before
+// at which the set takes effect: 0 for the immediate form (Delay < 0),
+// Delay otherwise. A value equal to the instruction's field count
+// means the set applies after the instruction is fully decoded.
+func (s SetPoint) EffectiveField() int {
+	if s.Delay < 0 {
+		return 0
+	}
+	return s.Delay
+}
+
+// OrderSets sorts a block's planned sets in place into hardware decode
+// order: ascending (Before, EffectiveField, Class), ties keeping the
+// encoder's emission order. This single ordering is shared by the
+// checker (which consumes sets at their decode positions), ApplyToIR
+// (which must lay them out in the instruction stream so a decoder
+// consuming the stream front-to-back applies them in exactly this
+// order), the listing renderer, and the difftest stream decoders — if
+// any of those ordered sets differently, a multi-set repair point
+// could decode correctly under one consumer and diverge under another.
+func OrderSets(sets []SetPoint) {
+	sort.SliceStable(sets, func(i, j int) bool {
+		if sets[i].Before != sets[j].Before {
+			return sets[i].Before < sets[j].Before
+		}
+		if ei, ej := sets[i].EffectiveField(), sets[j].EffectiveField(); ei != ej {
+			return ei < ej
+		}
+		return sets[i].Class < sets[j].Class
+	})
 }
 
 // Result is the outcome of Encode.
@@ -225,9 +270,22 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 	}
 
 	// chosen returns the head-set value for a conflicted class in b:
-	// the first register of that class accessed in b, or 0.
+	// the first register of that class accessed in b (so that field
+	// encodes difference 0), falling back to the smallest non-reserved
+	// register OF THAT CLASS. The fallback must stay inside the class:
+	// set_last_reg(v) writes the last_reg of v's class, so a
+	// fallback of plain 0 would silently repair classOf(0) instead of
+	// the conflicted class and leave the conflict live.
 	chosen := func(b *ir.Block, cls int) int {
 		for _, r := range fields[b.Index] {
+			if _, ok := cfg.reservedCode(r); ok {
+				continue
+			}
+			if cfg.classOf(r) == cls {
+				return r
+			}
+		}
+		for r := 0; r < cfg.RegN; r++ {
 			if _, ok := cfg.reservedCode(r); ok {
 				continue
 			}
@@ -414,16 +472,25 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 }
 
 // ApplyToIR inserts the planned set_last_reg instructions into f
-// (mutating it). Insertion proceeds from the back of each block so
-// recorded indices stay valid.
+// (mutating it). Within a block the sets are laid out in OrderSets
+// decode order; insertion proceeds from the back so recorded indices
+// stay valid. (An unordered insertion is a real hazard: two sets at
+// the same Before — say a join repair and a delayed range repair —
+// would otherwise land in the stream in arbitrary order, and a decoder
+// consuming the stream would apply them in an order the checker never
+// validated.)
 func (r *Result) ApplyToIR(f *ir.Func) {
 	perBlock := map[*ir.Block][]SetPoint{}
 	for _, s := range r.Sets {
 		perBlock[s.Block] = append(perBlock[s.Block], s)
 	}
 	for b, sets := range perBlock {
-		sort.Slice(sets, func(i, j int) bool { return sets[i].Before > sets[j].Before })
-		for _, s := range sets {
+		OrderSets(sets)
+		// Reverse iteration over the decode order: each insertion at
+		// Before pushes previously inserted same-Before sets down, so
+		// the final stream reads in exactly OrderSets order.
+		for i := len(sets) - 1; i >= 0; i-- {
+			s := sets[i]
 			b.InsertBefore(s.Before, &ir.Instr{
 				Op:   ir.OpSetLastReg,
 				Imm:  int64(s.Value),

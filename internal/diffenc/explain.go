@@ -32,7 +32,7 @@ func Explain(w io.Writer, fname string, res *Result) {
 		if sets[i].Before != sets[j].Before {
 			return sets[i].Before < sets[j].Before
 		}
-		return effK(sets[i]) < effK(sets[j])
+		return sets[i].EffectiveField() < sets[j].EffectiveField()
 	})
 
 	for _, s := range sets {

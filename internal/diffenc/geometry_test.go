@@ -1,0 +1,118 @@
+package diffenc
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestBoundaryGeometries audits the reserved-code geometry at its
+// corners: DiffN == RegN with reserved registers (the code space
+// DiffN+len(Reserved) then exceeds RegN), RegN not a power of two, and
+// a single encodable difference. In every case the sequence codec and
+// the per-field Decoder must round-trip every register, reserved codes
+// must sit directly above the difference alphabet, and DiffW must
+// cover the widened code space.
+func TestBoundaryGeometries(t *testing.T) {
+	cases := []struct {
+		regN, diffN int
+		reserved    []int
+	}{
+		{regN: 12, diffN: 12, reserved: []int{0, 11}}, // DiffN=RegN + reserved: codes 12,13
+		{regN: 31, diffN: 31, reserved: []int{30}},    // non-power-of-two, full alphabet
+		{regN: 31, diffN: 7, reserved: []int{0}},
+		{regN: 8, diffN: 1, reserved: nil}, // degenerate alphabet: every hop repairs
+		{regN: 8, diffN: 1, reserved: []int{3}},
+		{regN: 32, diffN: 32, reserved: []int{0, 1, 2, 3}},
+		{regN: 2, diffN: 1, reserved: []int{1}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("R%dD%dres%d", tc.regN, tc.diffN, len(tc.reserved)), func(t *testing.T) {
+			cfg := Config{RegN: tc.regN, DiffN: tc.diffN, Reserved: tc.reserved}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			// DiffW covers the widened code space.
+			maxCode := tc.diffN + len(tc.reserved) - 1
+			if (1 << cfg.DiffW()) <= maxCode {
+				t.Fatalf("DiffW=%d cannot hold max code %d", cfg.DiffW(), maxCode)
+			}
+			// A walk that touches every register, including hops across
+			// reserved numbers and repeated reserved accesses.
+			var regs []int
+			for r := 0; r < tc.regN; r++ {
+				regs = append(regs, r, (r*7+3)%tc.regN)
+			}
+			regs = append(regs, tc.reserved...)
+			codes, repairs, err := EncodeSequence(regs, cfg)
+			if err != nil {
+				t.Fatalf("EncodeSequence: %v", err)
+			}
+			for i, c := range codes {
+				if c >= tc.diffN+len(tc.reserved) {
+					t.Fatalf("code %d at %d outside widened space", c, i)
+				}
+				if rc, ok := cfg.reservedCode(regs[i]); ok && c != rc {
+					t.Fatalf("reserved register %d encoded as %d, want %d", regs[i], c, rc)
+				}
+			}
+			got, err := DecodeSequence(codes, repairs, nil, cfg)
+			if err != nil {
+				t.Fatalf("DecodeSequence: %v", err)
+			}
+			for i := range regs {
+				if got[i] != regs[i] {
+					t.Fatalf("access %d: decoded %d, want %d", i, got[i], regs[i])
+				}
+			}
+			// The hardware Decoder agrees field by field, both models.
+			for _, parallel := range []bool{false, true} {
+				d, err := NewDecoder(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var out []int
+				for i, c := range codes {
+					if v, ok := repairs[i]; ok {
+						d.SetLastReg(v)
+					}
+					var rs []int
+					if parallel {
+						rs, err = d.DecodeInstrParallel([]int{c}, nil)
+					} else {
+						rs, err = d.DecodeInstr([]int{c}, nil)
+					}
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, rs[0])
+				}
+				for i := range regs {
+					if out[i] != regs[i] {
+						t.Fatalf("decoder(parallel=%t) access %d: %d, want %d", parallel, i, out[i], regs[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestValidateRejectsBadGeometry locks the validation boundary between
+// the facade and the codec: both reject RegN < 2, non-positive DiffN,
+// DiffN > RegN, and malformed reserved lists.
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	bad := []Config{
+		{RegN: 1, DiffN: 1},
+		{RegN: 0, DiffN: 0},
+		{RegN: 8, DiffN: 0},
+		{RegN: 8, DiffN: -1},
+		{RegN: 8, DiffN: 9},
+		{RegN: 8, DiffN: 4, Reserved: []int{8}},
+		{RegN: 8, DiffN: 4, Reserved: []int{-1}},
+		{RegN: 8, DiffN: 4, Reserved: []int{2, 2}},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("Validate accepted %+v", cfg)
+		}
+	}
+}

@@ -26,7 +26,7 @@ func Listing(f *ir.Func, regOf func(ir.Reg) int, cfg Config, res *Result) string
 	}
 	for _, m := range setsAt {
 		for _, ss := range m {
-			sort.SliceStable(ss, func(i, j int) bool { return effK(ss[i]) < effK(ss[j]) })
+			OrderSets(ss)
 		}
 	}
 

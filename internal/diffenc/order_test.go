@@ -1,0 +1,116 @@
+package diffenc
+
+import (
+	"testing"
+
+	"diffra/internal/ir"
+)
+
+// TestApplyToIROrdersSameBeforeSets pins the stream layout of multiple
+// sets planned at the same insertion point: the instruction stream must
+// read in OrderSets decode order (immediate sets first, then ascending
+// delay), regardless of the order the encoder emitted them. Before the
+// shared helper, ApplyToIR sorted on Before alone with an unstable
+// sort, so a join repair and a delayed range repair at the same Before
+// could land in the stream in an order the checker never validated.
+func TestApplyToIROrdersSameBeforeSets(t *testing.T) {
+	f := ir.MustParse(`
+func o(v0, v1) {
+entry:
+  v0 = add v0, v1
+  ret v0
+}
+`)
+	b := f.Entry()
+	res := &Result{Sets: []SetPoint{
+		// Deliberately emitted in descending decode order.
+		{Block: b, Before: 0, Value: 3, Delay: 2},
+		{Block: b, Before: 0, Value: 2, Delay: 1},
+		{Block: b, Before: 0, Value: 1, Delay: -1},
+	}}
+	res.ApplyToIR(f)
+	if len(b.Instrs) != 5 {
+		t.Fatalf("want 5 instrs after insertion, got %d", len(b.Instrs))
+	}
+	wantImm := []int64{1, 2, 3}
+	wantDelay := []int64{-1, 1, 2}
+	for i := 0; i < 3; i++ {
+		in := b.Instrs[i]
+		if in.Op != ir.OpSetLastReg || in.Imm != wantImm[i] || in.Imm2 != wantDelay[i] {
+			t.Fatalf("stream slot %d: got %s, want set_last_reg %d delay %d", i, in, wantImm[i], wantDelay[i])
+		}
+	}
+}
+
+// TestOrderSetsKeepsEmissionOrderOnTies: sets with identical
+// (Before, EffectiveField, Class) keep their emission order — the
+// stable tie-break the checker relies on for join-then-range pairs.
+func TestOrderSetsKeepsEmissionOrderOnTies(t *testing.T) {
+	sets := []SetPoint{
+		{Before: 0, Value: 7, Delay: -1, Class: 0},
+		{Before: 0, Value: 9, Delay: -1, Class: 0},
+	}
+	OrderSets(sets)
+	if sets[0].Value != 7 || sets[1].Value != 9 {
+		t.Fatalf("stable tie-break violated: %v", sets)
+	}
+	// Class orders ties at the same decode position.
+	sets = []SetPoint{
+		{Before: 1, Value: 5, Delay: -1, Class: 1},
+		{Before: 1, Value: 4, Delay: -1, Class: 0},
+	}
+	OrderSets(sets)
+	if sets[0].Class != 0 || sets[1].Class != 1 {
+		t.Fatalf("class tie-break violated: %v", sets)
+	}
+}
+
+// TestJoinRepairChosenStaysInClass reproduces the multi-class fallback
+// bug: a join block whose conflicted class has no access inside the
+// block used to pick fallback value 0, and set_last_reg(0) repairs
+// classOf(0) — not the conflicted class — leaving the conflict live
+// for the checker to trip over as an ambiguity.
+func TestJoinRepairChosenStaysInClass(t *testing.T) {
+	// Registers are machine-numbered 1:1 (regOf identity). Classes
+	// split even/odd; class 1 = {1, 3}.
+	f := ir.MustParse(`
+func m(v0, v1, v2, v3) {
+entry:
+  br v0 -> a, b
+a:
+  v1 = add v1, v1
+  jmp j
+b:
+  v3 = add v3, v3
+  jmp j
+j:
+  v0 = add v0, v0
+  br v0 -> k, k
+k:
+  v1 = add v1, v1
+  ret v1
+}
+`)
+	cfg := Config{RegN: 4, DiffN: 2, ClassOf: func(r int) int { return r % 2 }}
+	regOf := func(r ir.Reg) int { return int(r) }
+	res, err := Encode(f, regOf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(f, regOf, cfg, res); err != nil {
+		t.Fatalf("multi-class join repair out of class: %v", err)
+	}
+	// The repair for class 1 must write a class-1 register.
+	found := false
+	for _, s := range res.Sets {
+		if s.Reason == ReasonJoin && s.Class == 1 {
+			found = true
+			if cfg.ClassOf(s.Value) != 1 {
+				t.Fatalf("join repair for class 1 writes register %d of class %d", s.Value, cfg.ClassOf(s.Value))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected a class-1 join repair")
+	}
+}

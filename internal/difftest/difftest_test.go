@@ -1,0 +1,189 @@
+package difftest
+
+import (
+	"strings"
+	"testing"
+
+	"diffra"
+	"diffra/internal/diffenc"
+	"diffra/internal/interp"
+	"diffra/internal/ir"
+)
+
+// acc sums a word array: a loop with register pressure, memory reads,
+// and an observable store at the end.
+const accSrc = `
+func acc(v0, v1) {
+entry:
+  v2 = li 0
+  v3 = li 0
+  jmp head
+head:
+  blt v3, v1 -> body, out
+body:
+  v4 = load v0, 0
+  v2 = add v2, v4
+  v5 = li 1
+  v3 = add v3, v5
+  v6 = li 4
+  v0 = add v0, v6
+  jmp head
+out:
+  store v2, v0, 0
+  ret v2
+}
+`
+
+func accSpec() RunSpec {
+	mem := map[int64]int64{}
+	for i := int64(0); i < 6; i++ {
+		mem[i*4] = i * 3
+	}
+	return RunSpec{Args: []int64{0, 6}, Mem: mem}
+}
+
+func TestCheckCompiledAllSchemes(t *testing.T) {
+	spec := accSpec()
+	for _, s := range []diffra.Scheme{diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce} {
+		for _, geo := range [][2]int{{8, 4}, {8, 1}, {12, 8}, {4, 2}} {
+			src := ir.MustParse(accSrc)
+			res, err := diffra.CompileFunc(src, diffra.Options{Scheme: s, RegN: geo[0], DiffN: geo[1], Restarts: 20})
+			if err != nil {
+				t.Fatalf("%s R%d D%d: compile: %v", s, geo[0], geo[1], err)
+			}
+			if err := CheckCompiled(src, res, spec); err != nil {
+				t.Errorf("%s R%d D%d: %v", s, geo[0], geo[1], err)
+			}
+		}
+	}
+}
+
+func TestOracleCatchesCorruptedCode(t *testing.T) {
+	src := ir.MustParse(accSrc)
+	res, err := diffra.CompileFunc(src, diffra.Options{Scheme: diffra.Select, RegN: 8, DiffN: 4, Restarts: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one field code to a different in-range difference: the
+	// stream now names a register the allocator did not pick, and the
+	// decode tripwire must say which field.
+	codes := res.Encoding.Codes
+	corrupted := false
+	for i, c := range codes {
+		if c < res.Encoding.Cfg.DiffN {
+			codes[i] = (c + 1) % res.Encoding.Cfg.DiffN
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no corruptible code found")
+	}
+	err = CheckCompiled(src, res, accSpec())
+	if err == nil {
+		t.Fatal("corrupted code stream not detected")
+	}
+	if !strings.Contains(err.Error(), "decoded R") {
+		t.Fatalf("want a field-level decode report, got: %v", err)
+	}
+}
+
+func TestOracleCatchesTamperedAllocation(t *testing.T) {
+	src := ir.MustParse(accSrc)
+	res, err := diffra.CompileFunc(src, diffra.Options{Scheme: diffra.Baseline, RegN: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force two interfering live ranges into one register: the sum
+	// (v2) and the loop index (v3) are simultaneously live across the
+	// loop, so sharing a register corrupts the computation — a bug only
+	// the trace can see (the decode still matches the tampered colors).
+	c := res.Assignment.Color
+	if c[2] == c[3] {
+		t.Fatalf("allocator gave interfering v2/v3 one register: %v", c)
+	}
+	c[3] = c[2]
+	if err := CheckCompiled(src, res, accSpec()); err == nil {
+		t.Fatal("tampered allocation not detected")
+	}
+}
+
+func TestEncodingAblations(t *testing.T) {
+	src := ir.MustParse(accSrc)
+	res, err := diffra.CompileFunc(src, diffra.Options{Scheme: diffra.Baseline, RegN: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := accSpec()
+	cfgs := []diffenc.Config{
+		{RegN: 8, DiffN: 4},
+		{RegN: 8, DiffN: 1},
+		{RegN: 8, DiffN: 8},
+		{RegN: 8, DiffN: 4, Reserved: []int{0, 7}},
+		{RegN: 8, DiffN: 8, Reserved: []int{3}},
+		{RegN: 8, DiffN: 4, DstFirst: true},
+		{RegN: 8, DiffN: 4, PerInstruction: true},
+		{RegN: 8, DiffN: 4, ClassOf: func(r int) int { return r % 2 }},
+		{RegN: 8, DiffN: 2, Reserved: []int{1}, DstFirst: true, PerInstruction: true},
+		{RegN: 8, DiffN: 3, ClassOf: func(r int) int { return r % 2 }, Reserved: []int{4}, DstFirst: true},
+	}
+	for i, cfg := range cfgs {
+		if err := CheckEncoding(res.F, res.Assignment, src.Params, cfg, spec); err != nil {
+			t.Errorf("ablation %d (%+v): %v", i, cfg, err)
+		}
+	}
+}
+
+func TestGeneratorDeterministicAndValid(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		f1, args1, mem1 := Generate(seed)
+		if err := f1.Verify(); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, f1)
+		}
+		f2, args2, _ := Generate(seed)
+		if f1.String() != f2.String() {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		if len(args1) != len(args2) {
+			t.Fatalf("seed %d: args differ", seed)
+		}
+		tr, err := interp.Run(f1, interp.Options{Args: args1, Mem: mem1, MaxSteps: 100_000})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, f1)
+		}
+		if tr.Halt != interp.HaltRet {
+			t.Fatalf("seed %d: counted loops should terminate, got halt=%s after %d steps", seed, tr.Halt, tr.Steps)
+		}
+	}
+}
+
+func TestShrinkPreservesFailureAndReduces(t *testing.T) {
+	f, _, _ := Generate(7)
+	before := f.NumInstrs()
+	// Synthetic failure: "the function still contains a store". The
+	// shrinker must keep at least one store but strip everything else
+	// it can.
+	hasStore := func(c *ir.Func) bool {
+		for _, b := range c.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpStore {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if !hasStore(f) {
+		t.Skip("seed produced no store")
+	}
+	min := Shrink(f, hasStore)
+	if !hasStore(min) {
+		t.Fatal("shrink lost the failure")
+	}
+	if min.NumInstrs() >= before {
+		t.Fatalf("shrink did not reduce: %d -> %d instrs", before, min.NumInstrs())
+	}
+	if err := min.Verify(); err != nil {
+		t.Fatalf("shrunk function invalid: %v", err)
+	}
+}

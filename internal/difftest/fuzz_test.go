@@ -1,0 +1,132 @@
+package difftest
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"diffra"
+	"diffra/internal/ir"
+)
+
+var fuzzRegNs = []int{4, 8, 12, 16, 31, 32}
+var fuzzSchemes = []diffra.Scheme{diffra.Baseline, diffra.Remapping, diffra.Select, diffra.Coalesce, diffra.OSpill}
+
+// FuzzSemantics generates random structured CFGs, compiles them under
+// a fuzzed scheme and geometry, and oracles the result against the
+// virtual-register reference semantics. A divergence is shrunk to a
+// minimal reproducer and persisted under testdata/repro/ before the
+// failure is reported, so the bug stays pinned even across fuzzing
+// sessions.
+func FuzzSemantics(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed), uint8(seed*5+3), uint8(seed))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, regSel, diffSel, schemeSel uint8) {
+		gf, args, mem := Generate(seed)
+		regN := fuzzRegNs[int(regSel)%len(fuzzRegNs)]
+		diffN := 1 + int(diffSel)%regN
+		scheme := fuzzSchemes[int(schemeSel)%len(fuzzSchemes)]
+		opts := diffra.Options{Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 8}
+		spec := RunSpec{Args: args, Mem: mem, MaxSteps: 1_000_000}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		res, err := diffra.CompileFuncContext(ctx, gf, opts)
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Skip("compile timed out (ILP search)") // not a semantic failure
+		}
+		if err != nil {
+			t.Fatalf("seed %d %s R%d D%d: compile: %v\n%s", seed, scheme, regN, diffN, err, gf)
+		}
+		oerr := CheckCompiled(gf, res, spec)
+		if oerr == nil {
+			return
+		}
+		// Shrink to a minimal function that still diverges under the
+		// same options and input, and persist it for replay.
+		fails := func(c *ir.Func) bool {
+			cres, cerr := diffra.CompileFunc(c.Clone(), opts)
+			if cerr != nil {
+				return false
+			}
+			return CheckCompiled(c, cres, spec) != nil
+		}
+		min := Shrink(gf, fails)
+		rep := &Repro{Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 8, Args: args, Mem: mem, F: min}
+		path := writeRepro(t, rep)
+		t.Fatalf("seed %d %s R%d D%d: %v\nminimized reproducer written to %s:\n%s",
+			seed, scheme, regN, diffN, oerr, path, min)
+	})
+}
+
+func writeRepro(t *testing.T, rep *Repro) string {
+	content := rep.Format()
+	sum := sha256.Sum256([]byte(content))
+	name := fmt.Sprintf("%s-r%d-d%d-%x.ir", rep.Scheme, rep.RegN, rep.DiffN, sum[:4])
+	dir := filepath.Join("testdata", "repro")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("cannot create %s: %v", dir, err)
+		return "(unwritten)"
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Logf("cannot write %s: %v", path, err)
+		return "(unwritten)"
+	}
+	return path
+}
+
+// TestReproReplay re-runs every checked-in reproducer: each one is a
+// bug that once escaped, so each must now compile and pass the oracle.
+func TestReproReplay(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro", "*.ir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Skip("no reproducers checked in")
+	}
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := ParseRepro(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		res, err := diffra.CompileFunc(rep.F.Clone(), rep.Options())
+		if err != nil {
+			t.Errorf("%s: compile: %v", path, err)
+			continue
+		}
+		if err := CheckCompiled(rep.F, res, rep.Spec()); err != nil {
+			t.Errorf("%s: still diverges: %v", path, err)
+		}
+	}
+}
+
+// TestReproRoundTrip pins the reproducer file format.
+func TestReproRoundTrip(t *testing.T) {
+	f, args, mem := Generate(3)
+	rep := &Repro{Scheme: diffra.Select, RegN: 12, DiffN: 5, Restarts: 8, Args: args, Mem: mem, F: f}
+	back, err := ParseRepro(rep.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheme != rep.Scheme || back.RegN != rep.RegN || back.DiffN != rep.DiffN || back.Restarts != rep.Restarts {
+		t.Fatalf("metadata round-trip: %+v", back)
+	}
+	if len(back.Args) != len(args) || len(back.Mem) != len(mem) {
+		t.Fatalf("input round-trip: args %d/%d mem %d/%d", len(back.Args), len(args), len(back.Mem), len(mem))
+	}
+	if back.F.String() != f.String() {
+		t.Fatal("function round-trip mismatch")
+	}
+}

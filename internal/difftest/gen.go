@@ -1,0 +1,133 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"diffra/internal/ir"
+)
+
+// Generate builds a random but well-formed function from a seed, plus
+// the argument values and initial memory to run it on. The same seed
+// always yields the same program and input, so fuzz failures replay.
+//
+// The CFG is structured — a sequence of straight-line runs, if/else
+// diamonds, and counted loops — which guarantees termination without a
+// step-budget crutch: every loop decrements a fresh counter register
+// the body cannot overwrite. Registers defined inside a diamond arm or
+// a loop body are discarded at the join, so every use is dominated by
+// its definition on all paths (ir.Verify holds by construction).
+//
+// Memory traffic stays inside a small window of word addresses so that
+// loads read initialized data and stores are observable trace events.
+func Generate(seed int64) (f *ir.Func, args []int64, mem map[int64]int64) {
+	rnd := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder(fmt.Sprintf("gen%d", seed))
+
+	nParams := 1 + rnd.Intn(3)
+	pool := make([]ir.Reg, 0, 16)
+	for i := 0; i < nParams; i++ {
+		pool = append(pool, b.Param())
+	}
+	args = make([]int64, nParams)
+	for i := range args {
+		args[i] = int64(rnd.Intn(199) - 99)
+	}
+	// Constants seed the pool beyond the params; the first is the 1
+	// every loop decrement uses.
+	oneReg := b.LI(1)
+	pool = append(pool, oneReg)
+	for i := 0; i < 2+rnd.Intn(3); i++ {
+		pool = append(pool, b.LI(int64(rnd.Intn(64))))
+	}
+
+	const memWords = 16
+	mem = map[int64]int64{}
+	for a := int64(0); a < memWords; a++ {
+		mem[a*4] = int64(rnd.Intn(255) - 127)
+	}
+
+	pick := func(p []ir.Reg) ir.Reg { return p[rnd.Intn(len(p))] }
+
+	binOps := []ir.Op{
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE,
+	}
+	unOps := []ir.Op{ir.OpNeg, ir.OpNot, ir.OpMov}
+	syms := []string{"sin", "rand", "strcmp"}
+
+	// addrFrom builds an in-window word address from a pooled register.
+	addrFrom := func(p []ir.Reg) ir.Reg {
+		masked := b.Bin(ir.OpAnd, pick(p), b.LI(memWords-1))
+		return b.Bin(ir.OpShl, masked, b.LI(2))
+	}
+
+	// straight emits up to n random instructions into the current block
+	// and returns the registers it defined.
+	straight := func(p []ir.Reg, n int) []ir.Reg {
+		var defs []ir.Reg
+		for i := 0; i < 1+rnd.Intn(n); i++ {
+			all := append(append([]ir.Reg{}, p...), defs...)
+			switch rnd.Intn(10) {
+			case 0:
+				defs = append(defs, b.LI(int64(rnd.Intn(128)-64)))
+			case 1:
+				defs = append(defs, b.Load(addrFrom(all), 0))
+			case 2:
+				b.Store(pick(all), addrFrom(all), 0)
+			case 3:
+				callArgs := make([]ir.Reg, rnd.Intn(3))
+				for j := range callArgs {
+					callArgs[j] = pick(all)
+				}
+				defs = append(defs, b.Call(syms[rnd.Intn(len(syms))], callArgs...))
+			case 4:
+				defs = append(defs, b.Un(unOps[rnd.Intn(len(unOps))], pick(all)))
+			default:
+				defs = append(defs, b.Bin(binOps[rnd.Intn(len(binOps))], pick(all), pick(all)))
+			}
+		}
+		return defs
+	}
+
+	nRegions := 2 + rnd.Intn(5)
+	for region := 0; region < nRegions; region++ {
+		switch rnd.Intn(3) {
+		case 0: // straight-line run; its defs extend the pool
+			pool = append(pool, straight(pool, 5)...)
+		case 1: // if/else diamond; arm defs are scoped to the arms
+			cond := pick(pool)
+			then := b.F.NewBlock(fmt.Sprintf("t%d", region))
+			els := b.F.NewBlock(fmt.Sprintf("e%d", region))
+			join := b.F.NewBlock(fmt.Sprintf("j%d", region))
+			b.Br(cond, then, els)
+			b.SetBlock(then)
+			straight(pool, 4)
+			b.Jmp(join)
+			b.SetBlock(els)
+			straight(pool, 4)
+			b.Jmp(join)
+			b.SetBlock(join)
+		default: // counted loop; the counter is fresh and only the
+			// dedicated decrement writes it, so the loop terminates
+			counter := b.LI(int64(1 + rnd.Intn(6)))
+			zero := b.LI(0)
+			head := b.F.NewBlock(fmt.Sprintf("h%d", region))
+			body := b.F.NewBlock(fmt.Sprintf("b%d", region))
+			exit := b.F.NewBlock(fmt.Sprintf("x%d", region))
+			b.Jmp(head)
+			b.SetBlock(head)
+			b.BrCmp(ir.OpBLE, counter, zero, exit, body)
+			b.SetBlock(body)
+			straight(append(append([]ir.Reg{}, pool...), counter), 4)
+			b.BinTo(ir.OpSub, counter, counter, oneReg)
+			b.Jmp(head)
+			b.SetBlock(exit)
+		}
+	}
+	b.Ret(pick(pool))
+	b.F.RecomputePreds()
+	b.F.Reindex()
+	return b.F, args, mem
+}

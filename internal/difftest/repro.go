@@ -1,0 +1,125 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"diffra"
+	"diffra/internal/ir"
+)
+
+// Repro is a self-contained failure reproducer: the function, the
+// compile options that produced the divergence, and the input it
+// diverged on. FuzzSemantics writes these to testdata/repro/ as .ir
+// files with the metadata in leading comment lines, and the replay
+// test re-runs every file there as a regression suite.
+type Repro struct {
+	Scheme   diffra.Scheme
+	RegN     int
+	DiffN    int
+	Restarts int
+	Args     []int64
+	Mem      map[int64]int64
+	F        *ir.Func
+}
+
+// Options returns the compile options the reproducer was found under.
+func (r *Repro) Options() diffra.Options {
+	return diffra.Options{Scheme: r.Scheme, RegN: r.RegN, DiffN: r.DiffN, Restarts: r.Restarts}
+}
+
+// Spec returns the run input.
+func (r *Repro) Spec() RunSpec {
+	return RunSpec{Args: r.Args, Mem: r.Mem, MaxSteps: 1_000_000}
+}
+
+// Format renders the reproducer as a .ir file with metadata comments.
+func (r *Repro) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; difftest reproducer\n")
+	fmt.Fprintf(&sb, "; scheme=%s regn=%d diffn=%d restarts=%d\n", r.Scheme, r.RegN, r.DiffN, r.Restarts)
+	args := make([]string, len(r.Args))
+	for i, a := range r.Args {
+		args[i] = strconv.FormatInt(a, 10)
+	}
+	fmt.Fprintf(&sb, "; args=%s\n", strings.Join(args, ","))
+	if len(r.Mem) > 0 {
+		addrs := make([]int64, 0, len(r.Mem))
+		for a := range r.Mem {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		cells := make([]string, len(addrs))
+		for i, a := range addrs {
+			cells[i] = fmt.Sprintf("%d:%d", a, r.Mem[a])
+		}
+		fmt.Fprintf(&sb, "; mem=%s\n", strings.Join(cells, ","))
+	}
+	sb.WriteString(r.F.String())
+	return sb.String()
+}
+
+// ParseRepro reads a reproducer file back.
+func ParseRepro(src string) (*Repro, error) {
+	r := &Repro{Mem: map[int64]int64{}}
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, ";") {
+			continue
+		}
+		for _, tok := range strings.Fields(strings.TrimPrefix(line, ";")) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				continue
+			}
+			switch k {
+			case "scheme":
+				r.Scheme = diffra.Scheme(v)
+			case "regn":
+				fmt.Sscanf(v, "%d", &r.RegN)
+			case "diffn":
+				fmt.Sscanf(v, "%d", &r.DiffN)
+			case "restarts":
+				fmt.Sscanf(v, "%d", &r.Restarts)
+			case "args":
+				if v == "" {
+					continue
+				}
+				for _, s := range strings.Split(v, ",") {
+					a, err := strconv.ParseInt(s, 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("difftest: bad args entry %q: %v", s, err)
+					}
+					r.Args = append(r.Args, a)
+				}
+			case "mem":
+				if v == "" {
+					continue
+				}
+				for _, cell := range strings.Split(v, ",") {
+					as, vs, ok := strings.Cut(cell, ":")
+					if !ok {
+						return nil, fmt.Errorf("difftest: bad mem cell %q", cell)
+					}
+					addr, err1 := strconv.ParseInt(as, 10, 64)
+					val, err2 := strconv.ParseInt(vs, 10, 64)
+					if err1 != nil || err2 != nil {
+						return nil, fmt.Errorf("difftest: bad mem cell %q", cell)
+					}
+					r.Mem[addr] = val
+				}
+			}
+		}
+	}
+	f, err := ir.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	r.F = f
+	if r.Scheme == "" || r.RegN == 0 {
+		return nil, fmt.Errorf("difftest: reproducer is missing scheme/regn metadata")
+	}
+	return r, nil
+}

@@ -1,0 +1,160 @@
+package difftest
+
+import (
+	"diffra/internal/bitset"
+	"diffra/internal/ir"
+)
+
+// Shrink greedily minimizes a failing function: it repeatedly tries to
+// delete a non-terminator instruction or to collapse a conditional
+// branch into an unconditional one (pruning the unreachable side), and
+// keeps any transformation after which fails still reports the
+// failure. The result is a local minimum: no single deletion or branch
+// collapse preserves the failure. fails must treat anything other than
+// the original divergence (compile errors included) as "not failing",
+// or the shrink can wander onto a different bug.
+func Shrink(f *ir.Func, fails func(*ir.Func) bool) *ir.Func {
+	cur := f.Clone()
+	if !fails(cur) {
+		return cur
+	}
+	const budget = 4096 // candidate evaluations; generated funcs are tiny
+	tried := 0
+	for improved := true; improved && tried < budget; {
+		improved = false
+		// Instruction deletion, front to back. Indices restart after
+		// every improvement because the accepted candidate renumbers.
+	deletion:
+		for bi := 0; bi < len(cur.Blocks); bi++ {
+			for ii := 0; ii < len(cur.Blocks[bi].Instrs)-1; ii++ {
+				if tried++; tried >= budget {
+					break deletion
+				}
+				cand := cur.Clone()
+				b := cand.Blocks[bi]
+				b.Instrs = append(b.Instrs[:ii:ii], b.Instrs[ii+1:]...)
+				if cand.Verify() == nil && wellDefined(cand) && fails(cand) {
+					cur = cand
+					improved = true
+					ii--
+				}
+			}
+		}
+		// Branch collapsing: force each two-way terminator to one side.
+	collapse:
+		for bi := 0; bi < len(cur.Blocks); bi++ {
+			for side := 0; side < 2; side++ {
+				if len(cur.Blocks[bi].Succs) != 2 {
+					continue
+				}
+				if tried++; tried >= budget {
+					break collapse
+				}
+				cand := cur.Clone()
+				b := cand.Blocks[bi]
+				keep := b.Succs[side]
+				b.Instrs[len(b.Instrs)-1] = &ir.Instr{Op: ir.OpJmp}
+				b.Succs = []*ir.Block{keep}
+				pruneUnreachable(cand)
+				if cand.Verify() == nil && wellDefined(cand) && fails(cand) {
+					cur = cand
+					improved = true
+					bi--
+					break
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// wellDefined reports whether every use reads a register that is
+// definitely assigned on all paths from entry (parameters count as
+// assigned). ir.Verify checks structure only, so without this guard a
+// deletion chain can wander onto a program that reads an undefined
+// register — "still failing", but meaningless as a reproducer. Forward
+// must-analysis: DefIn[b] is the intersection of DefOut over
+// predecessors (everything for unvisited blocks, as the meet identity).
+func wellDefined(f *ir.Func) bool {
+	nr := f.NumRegs()
+	n := len(f.Blocks)
+	defOut := make([]*bitset.Set, n)
+	entryIn := bitset.New(nr)
+	for _, p := range f.Params {
+		entryIn.Add(int(p))
+	}
+	inOf := func(b *ir.Block) *bitset.Set {
+		if b == f.Entry() {
+			return entryIn.Copy()
+		}
+		var in *bitset.Set
+		for _, p := range b.Preds {
+			if defOut[p.Index] == nil {
+				continue // not computed yet: top, the meet identity
+			}
+			if in == nil {
+				in = defOut[p.Index].Copy()
+			} else {
+				in.IntersectWith(defOut[p.Index])
+			}
+		}
+		if in == nil {
+			in = bitset.New(nr) // unreachable or no computed preds yet
+		}
+		return in
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			out := inOf(b)
+			for _, in := range b.Instrs {
+				for _, d := range in.Defs {
+					out.Add(int(d))
+				}
+			}
+			if defOut[b.Index] == nil || !defOut[b.Index].Equal(out) {
+				defOut[b.Index] = out
+				changed = true
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		def := inOf(b)
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				if !def.Has(int(u)) {
+					return false
+				}
+			}
+			for _, d := range in.Defs {
+				def.Add(int(d))
+			}
+		}
+	}
+	return true
+}
+
+// pruneUnreachable drops blocks no path from entry reaches and repairs
+// the edge lists and indices.
+func pruneUnreachable(f *ir.Func) {
+	reached := map[*ir.Block]bool{}
+	work := []*ir.Block{f.Entry()}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		if reached[b] {
+			continue
+		}
+		reached[b] = true
+		work = append(work, b.Succs...)
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reached[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.RecomputePreds()
+	f.Reindex()
+}

@@ -1,0 +1,329 @@
+// Package interp is the deterministic reference interpreter behind the
+// semantic-equivalence oracle (internal/difftest): it executes an IR
+// function — arithmetic, memory over a flat word-addressed store,
+// branches, calls resolved by deterministic intrinsic stubs — and
+// records everything observable about the run as a Trace (the output
+// events, the return value, the halt state).
+//
+// Unlike internal/pipeline, which models cycles and caches, interp
+// models only meaning: two runs are semantically equivalent exactly
+// when their Traces are equal. The same function can be run three
+// ways, which is what makes differential testing possible:
+//
+//   - on virtual registers (no assignment): the pre-allocation
+//     reference semantics;
+//   - through an allocation's colors (RegOf): the allocated program as
+//     the register allocator intended it;
+//   - through a Resolver: operand registers are produced per fetch by
+//     an external decoder — internal/difftest plugs the differential
+//     decode models in here, so the program executes exactly what the
+//     encoded code stream says, not what the allocator meant.
+//
+// Arithmetic quirks (division by zero yields 0, shifts mask to 6 bits)
+// deliberately match internal/pipeline so the two executors agree on
+// every program.
+package interp
+
+import (
+	"fmt"
+
+	"diffra/internal/ir"
+)
+
+// SpillBase is the start of the spill-slot region in the data address
+// space. It matches internal/pipeline's placement; addresses at or
+// above it are allocation artifacts, not program memory, so stores
+// there are never observable events.
+const SpillBase = int64(1) << 28
+
+// Resolver produces the machine register numbers for one fetched
+// instruction. It is called once per dynamic fetch, in program order,
+// for every instruction — including ir.OpSetLastReg, whose fetch the
+// resolver needs to update decoder state (it returns empty slices).
+// uses[i] and defs[i] index the machine register file for in.Uses[i]
+// and in.Defs[i].
+type Resolver interface {
+	Resolve(in *ir.Instr) (uses, defs []int, err error)
+}
+
+// Options configures a run.
+type Options struct {
+	// Args are the argument values, one per ORIGINAL parameter of the
+	// pre-allocation function, in order. OrigParams lists those
+	// original parameter registers; entries present in StackParams
+	// arrive in their spill slots, the rest bind to f.Params in order.
+	Args       []int64
+	OrigParams []ir.Reg
+	// StackParams maps spilled parameter vregs to their stack slots
+	// (regalloc.Assignment.StackParams).
+	StackParams map[ir.Reg]int64
+	// ArgLive, when non-nil, flags positionally which original
+	// parameters' incoming values are observable (see
+	// liveness.LiveParams on the SOURCE function). Dead parameters are
+	// not bound: an allocator may give a dead parameter the same
+	// machine register as a live one — a value nobody reads interferes
+	// with nothing — so binding it would clobber the live argument.
+	// nil binds every argument (correct when all parameters are live,
+	// and always correct in the virtual-register domain).
+	ArgLive []bool
+	// Mem pre-initializes data memory (word addressed, as laid out by
+	// internal/workloads).
+	Mem map[int64]int64
+	// NumRegs sizes the register file (0: f.NumRegs()).
+	NumRegs int
+	// RegOf maps an operand vreg to its register-file index (nil:
+	// identity — run on virtual registers). It also binds parameters,
+	// which are fixed by the calling convention, not by decode.
+	RegOf func(ir.Reg) int
+	// Resolver, when non-nil, overrides RegOf for instruction operands:
+	// every fetch asks the resolver for the registers to access.
+	// Parameters still bind through RegOf.
+	Resolver Resolver
+	// MaxSteps bounds execution (0: 10 million). Exhausting the budget
+	// is not an error: the run halts with Trace.Halt == HaltBudget, and
+	// the truncated trace is still comparable — two equivalent programs
+	// produce identical prefixes.
+	MaxSteps uint64
+	// MaxEvents bounds the number of events retained verbatim in
+	// Trace.Events (0: 4096). Beyond it, events still feed the trace
+	// hash and counts, so equality checking remains exact.
+	MaxEvents int
+}
+
+// Run executes f and returns its observable trace. The only errors are
+// structural (malformed IR, resolver failure, register index out of
+// range); semantic outcomes — including budget exhaustion — land in
+// the Trace.
+func Run(f *ir.Func, opts Options) (*Trace, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10_000_000
+	}
+	maxEvents := opts.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 4096
+	}
+	nregs := opts.NumRegs
+	if nregs == 0 {
+		nregs = f.NumRegs()
+	}
+	regOf := opts.RegOf
+	if regOf == nil {
+		regOf = func(r ir.Reg) int { return int(r) }
+	}
+
+	regs := make([]int64, nregs)
+	mem := make(map[int64]int64, len(opts.Mem)+64)
+	for k, v := range opts.Mem {
+		mem[k] = v
+	}
+
+	// Bind arguments through the calling convention.
+	origParams := opts.OrigParams
+	if origParams == nil {
+		origParams = f.Params
+	}
+	if len(opts.Args) != len(origParams) {
+		return nil, fmt.Errorf("interp: %d args for %d params", len(opts.Args), len(origParams))
+	}
+	if opts.ArgLive != nil && len(opts.ArgLive) != len(origParams) {
+		return nil, fmt.Errorf("interp: %d ArgLive flags for %d params", len(opts.ArgLive), len(origParams))
+	}
+	next := 0
+	for i, p := range origParams {
+		live := opts.ArgLive == nil || opts.ArgLive[i]
+		if slot, ok := opts.StackParams[p]; ok {
+			if live {
+				mem[SpillBase+slot] = opts.Args[i]
+			}
+			continue
+		}
+		if next >= len(f.Params) {
+			return nil, fmt.Errorf("interp: parameter binding ran out of register params")
+		}
+		rp := f.Params[next]
+		next++
+		if !live {
+			// Dead parameter: still occupies a f.Params slot, but its
+			// value must not reach the register file (its color may be
+			// shared with a live parameter, or be -1 entirely).
+			continue
+		}
+		c := regOf(rp)
+		if c < 0 || c >= nregs {
+			return nil, fmt.Errorf("interp: param v%d maps to register %d outside [0,%d)", rp, c, nregs)
+		}
+		regs[c] = opts.Args[i]
+	}
+
+	tr := newTrace(maxEvents)
+	b := f.Entry()
+	if b == nil {
+		return nil, fmt.Errorf("interp: %s has no blocks", f.Name)
+	}
+	ii := 0
+	for {
+		if ii >= len(b.Instrs) {
+			return nil, fmt.Errorf("interp: fell off block %s", b.Name)
+		}
+		if tr.Steps >= maxSteps {
+			tr.Halt = HaltBudget
+			return tr, nil
+		}
+		in := b.Instrs[ii]
+		tr.Steps++
+
+		var uses, defs []int
+		if opts.Resolver != nil {
+			var err error
+			uses, defs, err = opts.Resolver.Resolve(in)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %s/%s instr %d (%s): %w", f.Name, b.Name, ii, in, err)
+			}
+			if len(uses) != len(in.Uses) || len(defs) != len(in.Defs) {
+				return nil, fmt.Errorf("interp: %s/%s instr %d (%s): resolver returned %d uses / %d defs, want %d / %d",
+					f.Name, b.Name, ii, in, len(uses), len(defs), len(in.Uses), len(in.Defs))
+			}
+		} else {
+			uses = make([]int, len(in.Uses))
+			for i, r := range in.Uses {
+				uses[i] = regOf(r)
+			}
+			defs = make([]int, len(in.Defs))
+			for i, r := range in.Defs {
+				defs[i] = regOf(r)
+			}
+		}
+		for _, c := range uses {
+			if c < 0 || c >= nregs {
+				return nil, fmt.Errorf("interp: %s/%s instr %d (%s): use register %d outside [0,%d)", f.Name, b.Name, ii, in, c, nregs)
+			}
+		}
+		for _, c := range defs {
+			if c < 0 || c >= nregs {
+				return nil, fmt.Errorf("interp: %s/%s instr %d (%s): def register %d outside [0,%d)", f.Name, b.Name, ii, in, c, nregs)
+			}
+		}
+
+		get := func(i int) int64 { return regs[uses[i]] }
+		set := func(v int64) { regs[defs[0]] = v }
+
+		branchTo := -1
+		switch in.Op {
+		case ir.OpAdd:
+			set(get(0) + get(1))
+		case ir.OpSub:
+			set(get(0) - get(1))
+		case ir.OpMul:
+			set(get(0) * get(1))
+		case ir.OpDiv:
+			if d := get(1); d != 0 {
+				set(get(0) / d)
+			} else {
+				set(0)
+			}
+		case ir.OpRem:
+			if d := get(1); d != 0 {
+				set(get(0) % d)
+			} else {
+				set(0)
+			}
+		case ir.OpAnd:
+			set(get(0) & get(1))
+		case ir.OpOr:
+			set(get(0) | get(1))
+		case ir.OpXor:
+			set(get(0) ^ get(1))
+		case ir.OpShl:
+			set(get(0) << (uint64(get(1)) & 63))
+		case ir.OpShr:
+			set(int64(uint64(get(0)) >> (uint64(get(1)) & 63)))
+		case ir.OpNeg:
+			set(-get(0))
+		case ir.OpNot:
+			set(^get(0))
+		case ir.OpCmpEQ:
+			set(b2i(get(0) == get(1)))
+		case ir.OpCmpNE:
+			set(b2i(get(0) != get(1)))
+		case ir.OpCmpLT:
+			set(b2i(get(0) < get(1)))
+		case ir.OpCmpLE:
+			set(b2i(get(0) <= get(1)))
+		case ir.OpMov:
+			set(get(0))
+		case ir.OpLI:
+			set(in.Imm)
+		case ir.OpLoad:
+			set(mem[get(0)+in.Imm])
+		case ir.OpStore:
+			addr := get(1) + in.Imm
+			mem[addr] = get(0)
+			tr.store(addr, get(0))
+		case ir.OpSpillLoad:
+			set(mem[SpillBase+in.Imm])
+		case ir.OpSpillStore:
+			// Spill traffic is an allocation artifact, not program
+			// output: it writes memory but emits no event.
+			mem[SpillBase+in.Imm] = get(0)
+		case ir.OpSetLastReg:
+			// Consumed at decode (the Resolver saw the fetch); no
+			// architectural effect.
+		case ir.OpJmp:
+			branchTo = 0
+		case ir.OpBr:
+			if get(0) != 0 {
+				branchTo = 0
+			} else {
+				branchTo = 1
+			}
+		case ir.OpBEQ, ir.OpBNE, ir.OpBLT, ir.OpBLE:
+			taken := false
+			switch in.Op {
+			case ir.OpBEQ:
+				taken = get(0) == get(1)
+			case ir.OpBNE:
+				taken = get(0) != get(1)
+			case ir.OpBLT:
+				taken = get(0) < get(1)
+			case ir.OpBLE:
+				taken = get(0) <= get(1)
+			}
+			if taken {
+				branchTo = 0
+			} else {
+				branchTo = 1
+			}
+		case ir.OpRet:
+			tr.Halt = HaltRet
+			if len(in.Uses) > 0 {
+				tr.Ret = get(0)
+			}
+			return tr, nil
+		case ir.OpCall:
+			ret := tr.call(in.Sym, uses, regs)
+			if len(in.Defs) > 0 {
+				set(ret)
+			}
+		default:
+			return nil, fmt.Errorf("interp: cannot execute %s", in)
+		}
+
+		if branchTo >= 0 {
+			if branchTo >= len(b.Succs) {
+				return nil, fmt.Errorf("interp: %s/%s: branch to missing successor %d", f.Name, b.Name, branchTo)
+			}
+			b = b.Succs[branchTo]
+			ii = 0
+		} else {
+			ii++
+		}
+	}
+}
+
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,207 @@
+package interp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// HaltState says how a run ended.
+type HaltState uint8
+
+const (
+	// HaltRet: the function executed a ret.
+	HaltRet HaltState = iota
+	// HaltBudget: the step budget ran out. The trace is a prefix of the
+	// (possibly infinite) full trace.
+	HaltBudget
+)
+
+// String names the halt state.
+func (h HaltState) String() string {
+	switch h {
+	case HaltRet:
+		return "ret"
+	case HaltBudget:
+		return "budget"
+	}
+	return "unknown"
+}
+
+// EventKind classifies observable events.
+type EventKind uint8
+
+const (
+	// EvStore is a program store (spill stores are not observable).
+	EvStore EventKind = iota
+	// EvCall is a call to an intrinsic stub.
+	EvCall
+)
+
+// Event is one observable action of a run.
+type Event struct {
+	Kind EventKind
+	// Addr/Val describe a store.
+	Addr, Val int64
+	// Sym/Args/Ret describe a call.
+	Sym  string
+	Args []int64
+	Ret  int64
+}
+
+// String renders the event for divergence reports.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvStore:
+		return fmt.Sprintf("store mem[%d] = %d", e.Addr, e.Val)
+	case EvCall:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = fmt.Sprintf("%d", a)
+		}
+		return fmt.Sprintf("call %s(%s) = %d", e.Sym, strings.Join(args, ", "), e.Ret)
+	}
+	return "unknown event"
+}
+
+// Trace is the observable behavior of one run: the ordered store/call
+// events, the return value, and how the run halted. Equality of traces
+// is the oracle's definition of semantic equivalence. Event identity is
+// tracked exactly via a running hash, so equality stays sound even
+// past the retained-event bound.
+type Trace struct {
+	// Events holds the first MaxEvents events verbatim (for reports).
+	Events []Event
+	// NumEvents counts all events, retained or not.
+	NumEvents uint64
+	// Hash folds every event (kind, operands, order) into one digest.
+	Hash uint64
+	// Ret is the returned value (0 for a bare ret or budget halt).
+	Ret int64
+	// Halt says whether the run returned or ran out of budget.
+	Halt HaltState
+	// Steps counts executed instructions.
+	Steps uint64
+
+	max int
+	h   hashState
+}
+
+type hashState struct{ sum uint64 }
+
+func (h *hashState) mix(vals ...uint64) {
+	// FNV-1a over 8-byte words; cheap, deterministic, order-sensitive.
+	const prime = 1099511628211
+	if h.sum == 0 {
+		h.sum = 14695981039346656037
+	}
+	for _, v := range vals {
+		for i := 0; i < 8; i++ {
+			h.sum ^= (v >> (8 * i)) & 0xff
+			h.sum *= prime
+		}
+	}
+}
+
+func newTrace(maxEvents int) *Trace {
+	return &Trace{max: maxEvents}
+}
+
+func (t *Trace) record(e Event) {
+	t.NumEvents++
+	if len(t.Events) < t.max {
+		t.Events = append(t.Events, e)
+	}
+}
+
+func (t *Trace) store(addr, val int64) {
+	t.h.mix(uint64(EvStore), uint64(addr), uint64(val))
+	t.Hash = t.h.sum
+	t.record(Event{Kind: EvStore, Addr: addr, Val: val})
+}
+
+// call resolves an intrinsic stub deterministically from the symbol
+// and argument values, records the event, and returns the stub value.
+func (t *Trace) call(sym string, uses []int, regs []int64) int64 {
+	args := make([]int64, len(uses))
+	for i, u := range uses {
+		args[i] = regs[u]
+	}
+	ret := Intrinsic(sym, args)
+	t.h.mix(uint64(EvCall), uint64(len(args)))
+	for _, a := range args {
+		t.h.mix(uint64(a))
+	}
+	hs := fnv.New64a()
+	hs.Write([]byte(sym))
+	t.h.mix(hs.Sum64())
+	t.Hash = t.h.sum
+	t.record(Event{Kind: EvCall, Sym: sym, Args: args, Ret: ret})
+	return ret
+}
+
+// Intrinsic is the deterministic call stub: a pure function of the
+// symbol name and argument values. Both sides of a differential run
+// see identical stub results, so calls neither hide nor invent
+// divergence.
+func Intrinsic(sym string, args []int64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(sym))
+	var buf [8]byte
+	for _, a := range args {
+		v := uint64(a)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	// Keep stub values small so generated programs that branch or
+	// index memory on them stay well-behaved.
+	return int64(h.Sum64() % 251)
+}
+
+// Equal reports whether two traces are observationally identical:
+// same events in the same order (via count+hash), same halt state, and
+// — for returning runs — the same return value.
+func (t *Trace) Equal(o *Trace) bool {
+	if t.NumEvents != o.NumEvents || t.Hash != o.Hash || t.Halt != o.Halt {
+		return false
+	}
+	if t.Halt == HaltRet && t.Ret != o.Ret {
+		return false
+	}
+	return true
+}
+
+// Diff describes the first observable difference between two traces,
+// or "" when Equal. ref and got label the two sides in the report.
+func (t *Trace) Diff(o *Trace, ref, got string) string {
+	if t.Equal(o) {
+		return ""
+	}
+	n := len(t.Events)
+	if len(o.Events) < n {
+		n = len(o.Events)
+	}
+	for i := 0; i < n; i++ {
+		a, b := t.Events[i], o.Events[i]
+		if a.String() != b.String() {
+			return fmt.Sprintf("event %d: %s=%q %s=%q", i, ref, a.String(), got, b.String())
+		}
+	}
+	if t.NumEvents != o.NumEvents {
+		return fmt.Sprintf("event count: %s=%d %s=%d (first %d retained events agree)", ref, t.NumEvents, got, o.NumEvents, n)
+	}
+	if t.Halt != o.Halt {
+		return fmt.Sprintf("halt state: %s=%s %s=%s", ref, t.Halt, got, o.Halt)
+	}
+	if t.Halt == HaltRet && t.Ret != o.Ret {
+		return fmt.Sprintf("return value: %s=%d %s=%d", ref, t.Ret, got, o.Ret)
+	}
+	return fmt.Sprintf("trace hash: %s=%#x %s=%#x (divergence beyond the %d retained events)", ref, t.Hash, got, o.Hash, n)
+}
+
+// Summary is a one-line description for logs and CLI output.
+func (t *Trace) Summary() string {
+	return fmt.Sprintf("steps=%d events=%d ret=%d halt=%s", t.Steps, t.NumEvents, t.Ret, t.Halt)
+}

@@ -116,6 +116,23 @@ func (info *Info) LiveAcross(b *ir.Block, visit func(idx int, in *ir.Instr, live
 	}
 }
 
+// LiveParams reports, positionally for f.Params, whether each
+// parameter's incoming value can ever be observed: a parameter is dead
+// when every path from entry redefines it before reading it. Callers
+// that bind arguments into a finite register file (the interpreter,
+// the pipeline model) must skip dead parameters — an allocator may
+// legally give a dead parameter the same machine register as a live
+// one, since a value nobody reads interferes with nothing.
+func LiveParams(f *ir.Func) []bool {
+	info := Compute(f)
+	in := info.LiveIn[f.Entry().Index]
+	out := make([]bool, len(f.Params))
+	for i, p := range f.Params {
+		out[i] = in.Has(int(p))
+	}
+	return out
+}
+
 // MaxPressure returns the maximum number of simultaneously live
 // registers at any program point (measured after each instruction and
 // at block entry).

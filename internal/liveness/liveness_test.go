@@ -56,6 +56,48 @@ func TestLiveInOut(t *testing.T) {
 	}
 }
 
+func TestLiveParams(t *testing.T) {
+	// v0 is read, v1 is never touched, v2 is redefined on every path
+	// before any read: only v0's incoming value is observable.
+	f := ir.MustParse(`
+func g(v0, v1, v2) {
+entry:
+  v3 = li 1
+  br v0 -> a, b
+a:
+  v2 = add v0, v3
+  jmp out
+b:
+  v2 = li 9
+  jmp out
+out:
+  ret v2
+}
+`)
+	got := LiveParams(f)
+	want := []bool{true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("param %d: live=%v, want %v", i, got[i], want[i])
+		}
+	}
+	// If one path reads v2 before redefining it, it becomes live.
+	f2 := ir.MustParse(`
+func h(v0, v2) {
+entry:
+  br v0 -> a, out
+a:
+  v2 = li 9
+  jmp out
+out:
+  ret v2
+}
+`)
+	if got := LiveParams(f2); !got[1] {
+		t.Error("v2 is read on the fall-through path: must be live")
+	}
+}
+
 func TestLiveAcross(t *testing.T) {
 	f := ir.MustParse(loopSrc)
 	info := Compute(f)

@@ -170,6 +170,13 @@ type RunOptions struct {
 	// asn.StackParams, the rest bind to f.Params in order.
 	Args       []int64
 	OrigParams []ir.Reg
+	// ArgLive, when non-nil, flags positionally which original
+	// parameters' incoming values are observable (see
+	// liveness.LiveParams on the source function). Dead parameters are
+	// skipped during binding: an allocator may give a dead parameter
+	// the same machine register as a live one, so writing its argument
+	// would clobber the live value. nil binds every argument.
+	ArgLive []bool
 	// Mem pre-initializes data memory (word addressed, 4-byte words).
 	Mem map[int64]int64
 }
@@ -216,19 +223,33 @@ func (m *Machine) Run(f *ir.Func, asn *regalloc.Assignment, opts RunOptions) (re
 	if len(opts.Args) != len(origParams) {
 		return 0, st, fmt.Errorf("pipeline: %d args for %d params", len(opts.Args), len(origParams))
 	}
+	if opts.ArgLive != nil && len(opts.ArgLive) != len(origParams) {
+		return 0, st, fmt.Errorf("pipeline: %d ArgLive flags for %d params", len(opts.ArgLive), len(origParams))
+	}
 	next := 0
 	for i, p := range origParams {
+		live := opts.ArgLive == nil || opts.ArgLive[i]
 		if asn != nil {
 			if slot, ok := asn.StackParams[p]; ok {
-				mem[spillBase+slot] = opts.Args[i]
+				if live {
+					mem[spillBase+slot] = opts.Args[i]
+				}
 				continue
 			}
 		}
 		if next >= len(f.Params) {
 			return 0, st, fmt.Errorf("pipeline: parameter binding ran out of register params")
 		}
-		regs[regOf(f.Params[next])] = opts.Args[i]
+		rp := f.Params[next]
 		next++
+		if !live {
+			continue
+		}
+		c := regOf(rp)
+		if c < 0 || c >= nregs {
+			return 0, st, fmt.Errorf("pipeline: param v%d maps to register %d outside [0,%d)", rp, c, nregs)
+		}
+		regs[c] = opts.Args[i]
 	}
 
 	layout := encode.Place(f, m.cfg.Model, 0)

@@ -7,6 +7,7 @@ import (
 	"diffra/internal/diffenc"
 	"diffra/internal/ir"
 	"diffra/internal/irc"
+	"diffra/internal/regalloc"
 )
 
 const sumSrc = `
@@ -256,6 +257,30 @@ func TestArgArityChecked(t *testing.T) {
 	m := newMachine(t)
 	if _, _, err := m.Run(f, nil, RunOptions{Args: []int64{1}}); err == nil {
 		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestDeadParamNotBound(t *testing.T) {
+	// An allocator may give a never-read parameter the same machine
+	// register as a live one; ArgLive keeps its argument out of the
+	// register file so the live value survives binding.
+	f := ir.MustParse(`
+func dp(v0, v1) {
+entry:
+  ret v0
+}
+`)
+	asn := &regalloc.Assignment{Color: []int{0, 0}, K: 1, StackParams: map[ir.Reg]int64{}}
+	m := newMachine(t)
+	ret, _, err := m.Run(f, asn, RunOptions{Args: []int64{7, 99}, ArgLive: []bool{true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret != 7 {
+		t.Fatalf("dead arg reached the register file: ret=%d", ret)
+	}
+	if _, _, err := m.Run(f, asn, RunOptions{Args: []int64{7, 99}, ArgLive: []bool{true}}); err == nil {
+		t.Fatal("want ArgLive arity error")
 	}
 }
 

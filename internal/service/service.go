@@ -21,6 +21,7 @@ import (
 
 	"diffra"
 	"diffra/internal/diffenc"
+	"diffra/internal/difftest"
 	"diffra/internal/ir"
 	"diffra/internal/telemetry"
 )
@@ -95,6 +96,15 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Registry receives the service metrics (nil: telemetry.Default).
 	Registry *telemetry.Registry
+	// SelfCheck enables shadow oracling: every Nth successful compile
+	// is re-run through the differential-testing oracle — reference
+	// interpretation of the source versus the allocated program run
+	// directly and through both stream-decode models, on a
+	// deterministic input (difftest.DefaultSpec). Outcomes land in the
+	// service_selfcheck_runs / service_selfcheck_divergences counters;
+	// the response is not altered. 0 disables, 1 checks every compile,
+	// N samples one in N.
+	SelfCheck int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,11 +127,12 @@ func (c Config) withDefaults() Config {
 // safe for concurrent use; the HTTP layer in http.go is one front end,
 // ServeBatch and Compile are the in-process ones.
 type Server struct {
-	cfg      Config
-	pool     *Pool
-	cache    *resultCache
-	reg      *telemetry.Registry
-	inflight atomic.Int64
+	cfg       Config
+	pool      *Pool
+	cache     *resultCache
+	reg       *telemetry.Registry
+	inflight  atomic.Int64
+	checkTick atomic.Int64
 }
 
 // New builds a Server.
@@ -229,6 +240,7 @@ func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, r
 	if err != nil {
 		return errResponse(err)
 	}
+	s.selfCheck(f, res)
 	regW, diffW := diffra.FieldWidths(opts.RegN, opts.DiffN)
 	resp := Response{
 		Func:           res.F.Name,
@@ -256,6 +268,21 @@ func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, r
 		}
 	}
 	return resp
+}
+
+// selfCheck shadow-oracles a sampled fraction of successful compiles:
+// the compiled program must reproduce the source's reference trace on
+// a deterministic input. A divergence here is a compiler bug caught in
+// production; it increments service_selfcheck_divergences and records
+// nothing in the response — self-check observes, it does not gate.
+func (s *Server) selfCheck(src *ir.Func, res *diffra.Result) {
+	if s.cfg.SelfCheck <= 0 || s.checkTick.Add(1)%int64(s.cfg.SelfCheck) != 0 {
+		return
+	}
+	s.reg.Counter("service_selfcheck_runs").Inc()
+	if err := difftest.CheckCompiled(src, res, difftest.DefaultSpec(src)); err != nil {
+		s.reg.Counter("service_selfcheck_divergences").Inc()
+	}
 }
 
 // ServeBatch compiles every request through the pool and returns the

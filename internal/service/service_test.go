@@ -257,6 +257,124 @@ func TestConcurrentCompilesShareOneRegistry(t *testing.T) {
 	}
 }
 
+// TestCacheKeyCanonicalization pins the contract that cache keys are
+// computed over *resolved* options: a request spelling out the
+// defaults and one leaving them zero must share an entry, while any
+// genuinely different option must miss.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Request
+		hit  bool
+	}{
+		{"implicit defaults vs explicit",
+			Request{IR: tinyIR},
+			Request{IR: tinyIR, Scheme: "select", RegN: 12, DiffN: 8, Restarts: 1000}, true},
+		{"diffn default is min(8, regn)",
+			Request{IR: tinyIR, Scheme: "select", RegN: 4},
+			Request{IR: tinyIR, Scheme: "select", RegN: 4, DiffN: 4}, true},
+		{"baseline ignores restarts",
+			Request{IR: tinyIR, Scheme: "baseline", Restarts: 5},
+			Request{IR: tinyIR, Scheme: "baseline", Restarts: 99}, true},
+		{"ospill ignores restarts",
+			Request{IR: tinyIR, Scheme: "ospill", RegN: 8, Restarts: 3},
+			Request{IR: tinyIR, Scheme: "ospill", RegN: 8}, true},
+		{"timeout is not part of the key",
+			Request{IR: tinyIR, Scheme: "select", TimeoutMs: 5000},
+			Request{IR: tinyIR, Scheme: "select"}, true},
+		{"scheme differs",
+			Request{IR: tinyIR, Scheme: "select"},
+			Request{IR: tinyIR, Scheme: "remapping"}, false},
+		{"regn differs",
+			Request{IR: tinyIR, Scheme: "select", RegN: 12},
+			Request{IR: tinyIR, Scheme: "select", RegN: 16}, false},
+		{"diffn differs",
+			Request{IR: tinyIR, Scheme: "select", RegN: 12, DiffN: 8},
+			Request{IR: tinyIR, Scheme: "select", RegN: 12, DiffN: 7}, false},
+		{"restarts differ on a differential scheme",
+			Request{IR: tinyIR, Scheme: "select", Restarts: 10},
+			Request{IR: tinyIR, Scheme: "select", Restarts: 20}, false},
+		{"listing request compiles separately",
+			Request{IR: tinyIR, Scheme: "select"},
+			Request{IR: tinyIR, Scheme: "select", Listing: true}, false},
+		{"explain request compiles separately",
+			Request{IR: tinyIR, Scheme: "select"},
+			Request{IR: tinyIR, Scheme: "select", Explain: true}, false},
+		{"ir differs",
+			Request{IR: tinyIR, Scheme: "select"},
+			Request{IR: strings.Replace(tinyIR, "li 1", "li 2", 1), Scheme: "select"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newTestServer(t, Config{})
+			if resp := srv.Compile(context.Background(), tc.a); resp.Error != "" {
+				t.Fatalf("first compile: %s", resp.Error)
+			}
+			resp := srv.Compile(context.Background(), tc.b)
+			if resp.Error != "" {
+				t.Fatalf("second compile: %s", resp.Error)
+			}
+			if resp.Cached != tc.hit {
+				t.Fatalf("cached = %v, want %v", resp.Cached, tc.hit)
+			}
+		})
+	}
+}
+
+func TestSelfCheckSamplesAndCountsRuns(t *testing.T) {
+	// SelfCheck: 2 → every second successful compile is shadow-oracled.
+	srv := newTestServer(t, Config{SelfCheck: 2, CacheEntries: -1})
+	const n = 6
+	for i := 0; i < n; i++ {
+		ir := strings.Replace(tinyIR, "func tiny", fmt.Sprintf("func tiny%d", i), 1)
+		if resp := srv.Compile(context.Background(), Request{IR: ir, Scheme: "coalesce", RegN: 8, DiffN: 2}); resp.Error != "" {
+			t.Fatalf("compile %d: %s", i, resp.Error)
+		}
+	}
+	reg := srv.Registry()
+	if got := reg.Counter("service_selfcheck_runs").Value(); got != n/2 {
+		t.Fatalf("service_selfcheck_runs = %d, want %d", got, n/2)
+	}
+	if got := reg.Counter("service_selfcheck_divergences").Value(); got != 0 {
+		t.Fatalf("service_selfcheck_divergences = %d on healthy compiles", got)
+	}
+}
+
+func TestSelfCheckOffByDefault(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	if resp := srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: "select"}); resp.Error != "" {
+		t.Fatalf("compile: %s", resp.Error)
+	}
+	if got := srv.Registry().Counter("service_selfcheck_runs").Value(); got != 0 {
+		t.Fatalf("selfcheck ran without being enabled: %d", got)
+	}
+}
+
+func TestSelfCheckCoversEverySchemeAndCacheSkips(t *testing.T) {
+	srv := newTestServer(t, Config{SelfCheck: 1})
+	for _, scheme := range []string{"baseline", "remapping", "select", "ospill", "coalesce"} {
+		resp := srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: scheme, RegN: 8, DiffN: 4, Restarts: 20})
+		if resp.Error != "" {
+			t.Fatalf("%s: %s", scheme, resp.Error)
+		}
+	}
+	reg := srv.Registry()
+	if got := reg.Counter("service_selfcheck_runs").Value(); got != 5 {
+		t.Fatalf("service_selfcheck_runs = %d, want 5", got)
+	}
+	if got := reg.Counter("service_selfcheck_divergences").Value(); got != 0 {
+		t.Fatalf("divergences on healthy compiles: %d", got)
+	}
+	// A cache hit serves the stored response without recompiling, so
+	// it must not count as a self-check run either.
+	if resp := srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: "select", RegN: 8, DiffN: 4, Restarts: 20}); !resp.Cached {
+		t.Fatal("expected a cache hit")
+	}
+	if got := reg.Counter("service_selfcheck_runs").Value(); got != 5 {
+		t.Fatalf("cache hit triggered a selfcheck: runs = %d", got)
+	}
+}
+
 func TestListingAndExplainRendered(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	resp := srv.Compile(context.Background(), Request{

@@ -168,7 +168,10 @@ func BenchmarkDiffEncode(b *testing.B) {
 	}
 }
 
-// BenchmarkRemapGreedy measures the §5 permutation search.
+// BenchmarkRemapGreedy measures the §5 permutation search: the
+// retained map-graph baseline (legacy) against the CSR engine at one
+// and many workers. cmd/benchjson runs the same cases and persists
+// them to BENCH_remap.json.
 func BenchmarkRemapGreedy(b *testing.B) {
 	k := workloads.KernelByName("bitcount")
 	out, asn, err := irc.Allocate(k.F, irc.Options{K: 12})
@@ -176,9 +179,24 @@ func BenchmarkRemapGreedy(b *testing.B) {
 		b.Fatal(err)
 	}
 	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, 12)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		remap.Greedy(g, remap.Options{RegN: 12, DiffN: 8, Restarts: 100, Seed: 1})
+	opts := remap.Options{RegN: 12, DiffN: 8, Restarts: 100, Seed: 1}
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			remap.LegacyGreedy(g, opts)
+		}
+	})
+	for _, workers := range []int{1, 8} {
+		o := opts
+		o.Workers = workers
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var evals int
+			for i := 0; i < b.N; i++ {
+				evals += remap.Greedy(g, o).Evaluated
+			}
+			b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+		})
 	}
 }
 

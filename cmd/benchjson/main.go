@@ -1,0 +1,184 @@
+// Command benchjson persists the compiler's performance trajectory:
+// it runs the remap-search, encoding and allocator micro-benchmarks
+// in-process (via testing.Benchmark, so the numbers match
+// `go test -bench`) and writes them to a JSON file with enough host
+// context to interpret them later. The checked-in BENCH_remap.json at
+// the repository root is the baseline; regenerate it with
+//
+//	go run ./cmd/benchjson -o BENCH_remap.json
+//
+// and compare the ns/op, evals/sec and allocs/op columns against the
+// previous revision before accepting a change to the search hot path.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"diffra/internal/adjacency"
+	"diffra/internal/diffenc"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/remap"
+	"diffra/internal/workloads"
+)
+
+// result is one benchmark row of the JSON report.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// EvalsPerSec is the remap searches' cost-evaluation throughput
+	// (zero for benchmarks that are not searches).
+	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+}
+
+type report struct {
+	// Host context: throughput numbers are only comparable on the same
+	// hardware, and worker scaling only visible with NumCPU > 1.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Benchmarks []result `json:"benchmarks"`
+
+	// SpeedupCSRSerial is legacy ns/op over the serial CSR-engine
+	// ns/op: the single-threaded win of the CSR + register-cost-matrix
+	// hot path. SpeedupWorkers8 is serial engine ns/op over the
+	// 8-worker ns/op — wall-clock parallel scaling, bounded by NumCPU.
+	SpeedupCSRSerial float64 `json:"speedup_csr_serial"`
+	SpeedupWorkers8  float64 `json:"speedup_workers_8"`
+}
+
+// remapWorkload rebuilds the BenchmarkRemapGreedy setup from the root
+// benchmark harness: the bitcount kernel allocated at K=12.
+func remapWorkload() (*adjacency.Graph, remap.Options, error) {
+	k := workloads.KernelByName("bitcount")
+	out, asn, err := irc.Allocate(k.F, irc.Options{K: 12})
+	if err != nil {
+		return nil, remap.Options{}, err
+	}
+	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, 12)
+	return g, remap.Options{RegN: 12, DiffN: 8, Restarts: 100, Seed: 1}, nil
+}
+
+func run(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	row := result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if evals, ok := r.Extra["evals/s"]; ok {
+		row.EvalsPerSec = evals
+	}
+	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d allocs/op\n", name, row.NsPerOp, row.AllocsPerOp)
+	return row
+}
+
+func main() {
+	out := flag.String("o", "BENCH_remap.json", "output file (- for stdout)")
+	flag.Parse()
+
+	g, opts, err := remapWorkload()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	reportEvals := func(b *testing.B, evals int) {
+		b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks, run("RemapGreedy/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		evals := 0
+		for i := 0; i < b.N; i++ {
+			evals += remap.LegacyGreedy(g, opts).Evaluated
+		}
+		reportEvals(b, evals)
+	}))
+	for _, workers := range []int{1, 2, 8} {
+		o := opts
+		o.Workers = workers
+		rep.Benchmarks = append(rep.Benchmarks, run(fmt.Sprintf("RemapGreedy/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			evals := 0
+			for i := 0; i < b.N; i++ {
+				evals += remap.Greedy(g, o).Evaluated
+			}
+			reportEvals(b, evals)
+		}))
+	}
+
+	sha := workloads.KernelByName("sha")
+	shaOut, shaAsn, err := irc.Allocate(sha.F, irc.Options{K: 12})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	cfg := diffenc.Config{RegN: 12, DiffN: 8}
+	regOf := func(r ir.Reg) int { return shaAsn.Color[r] }
+	rep.Benchmarks = append(rep.Benchmarks, run("DiffEncode/sha", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := diffenc.Encode(shaOut, regOf, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	susan := workloads.KernelByName("susan")
+	rep.Benchmarks = append(rep.Benchmarks, run("IRCAllocate/susan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := irc.Allocate(susan.F, irc.Options{K: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	byName := map[string]result{}
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
+	}
+	if legacy, serial := byName["RemapGreedy/legacy"], byName["RemapGreedy/workers=1"]; serial.NsPerOp > 0 {
+		rep.SpeedupCSRSerial = legacy.NsPerOp / serial.NsPerOp
+	}
+	if serial, w8 := byName["RemapGreedy/workers=1"], byName["RemapGreedy/workers=8"]; w8.NsPerOp > 0 {
+		rep.SpeedupWorkers8 = serial.NsPerOp / w8.NsPerOp
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -56,6 +56,7 @@ func main() {
 	regN := flag.Int("regn", 12, "addressable registers (RegN)")
 	diffN := flag.Int("diffn", 8, "encodable differences (DiffN)")
 	restarts := flag.Int("restarts", 1000, "remapping restarts")
+	remapWorkers := flag.Int("remap-workers", 0, "parallel remap-search workers, bit-identical result at any count (0 = GOMAXPROCS; in-process only)")
 	dump := flag.Bool("dump", false, "print the allocated function")
 	listing := flag.Bool("listing", false, "print the encoded listing (differential schemes)")
 	runArgs := flag.String("run", "", "simulate with comma-separated integer arguments (e.g. -run 3,5)")
@@ -130,11 +131,12 @@ func main() {
 	}
 
 	res, err := diffra.CompileFunc(f.Clone(), diffra.Options{
-		Scheme:    diffra.Scheme(*scheme),
-		RegN:      *regN,
-		DiffN:     *diffN,
-		Restarts:  *restarts,
-		Telemetry: tracer,
+		Scheme:       diffra.Scheme(*scheme),
+		RegN:         *regN,
+		DiffN:        *diffN,
+		Restarts:     *restarts,
+		RemapWorkers: *remapWorkers,
+		Telemetry:    tracer,
 	})
 	if err != nil {
 		fatal(err)

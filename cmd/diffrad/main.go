@@ -39,6 +39,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain limit")
 	selfCheck := flag.Int("selfcheck", 0, "shadow-oracle every Nth successful compile against the reference interpreter (0 = off; see service_selfcheck_* metrics)")
+	remapWorkers := flag.Int("remap-workers", 0, "parallel remap-search workers per compile (0 = serial; the pool already compiles one request per core)")
 	flag.Parse()
 
 	srv := service.NewHTTP(service.Config{
@@ -47,6 +48,7 @@ func main() {
 		MaxRequestBytes: *maxBytes,
 		DefaultTimeout:  *timeout,
 		SelfCheck:       *selfCheck,
+		RemapWorkers:    *remapWorkers,
 	})
 
 	l, err := net.Listen("tcp", *addr)

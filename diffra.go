@@ -65,6 +65,12 @@ type Options struct {
 	DiffN int
 	// Restarts bounds the remapping search (default 1000).
 	Restarts int
+	// RemapWorkers bounds the goroutines the remapping search shards
+	// its restarts across (0: GOMAXPROCS; 1: serial). The search is
+	// deterministic at any worker count — same options, same
+	// permutation — so this only trades wall-clock time for CPU and
+	// never participates in result caching.
+	RemapWorkers int
 	// Telemetry, when non-nil, receives one span tree per compiled
 	// function (compile → allocate/remap/refine/verify/encode/check).
 	// Nil costs nothing.
@@ -313,7 +319,7 @@ func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options, parent *te
 	g := adjacency.BuildReg(out, func(r ir.Reg) int { return asn.Color[r] }, opts.RegN)
 	perm := remap.Auto(g, remap.Options{
 		RegN: opts.RegN, DiffN: opts.DiffN, Restarts: opts.Restarts, Seed: 1,
-		Trace: span, Cancel: cancel,
+		Workers: opts.RemapWorkers, Trace: span, Cancel: cancel,
 	})
 	for v, c := range asn.Color {
 		if c >= 0 {

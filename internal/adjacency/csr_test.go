@@ -1,0 +1,186 @@
+package adjacency
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randGraph builds a fuzzed graph. Weights are small multiples of 0.25
+// so every cost sum is exact in float64 regardless of summation order —
+// the map-backed Graph iterates in randomized order, so only exactly
+// representable sums can be compared bitwise against the CSR walk.
+func randGraph(rng *rand.Rand, n int) *Graph {
+	g := New(n)
+	for e := 0; e < rng.Intn(4*n+1); e++ {
+		g.AddWeight(rng.Intn(n), rng.Intn(n), 0.25*float64(1+rng.Intn(40)))
+	}
+	return g
+}
+
+// randNumbering maps nodes to registers, pinning some out of range:
+// roughly one in four nodes is unallocated (-1), exercising the skip
+// path on both sides of every edge.
+func randNumbering(rng *rand.Rand, n, regN int) []int {
+	m := make([]int, n)
+	for i := range m {
+		if rng.Intn(4) == 0 {
+			m[i] = -1
+		} else {
+			m[i] = rng.Intn(regN)
+		}
+	}
+	return m
+}
+
+func TestFreezePreservesEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(20)
+		g := randGraph(rng, n)
+		c := g.Freeze()
+		if c.N != g.N {
+			t.Fatalf("trial %d: N = %d, want %d", trial, c.N, g.N)
+		}
+		if c.NumEdges() != g.NumEdges() {
+			t.Fatalf("trial %d: %d edges, want %d", trial, c.NumEdges(), g.NumEdges())
+		}
+		// Every directed edge must appear in the row form with its
+		// accumulated weight, and in both endpoints' incidence.
+		g.Edges(func(from, to int, w float64) {
+			found := false
+			for k := c.rowPtr[from]; k < c.rowPtr[from+1]; k++ {
+				if int(c.rowTo[k]) == to {
+					if c.rowW[k] != w {
+						t.Fatalf("trial %d: edge %d->%d weight %v, want %v", trial, from, to, c.rowW[k], w)
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: edge %d->%d missing from row form", trial, from, to)
+			}
+			for _, v := range []int{from, to} {
+				hits := 0
+				incFrom, incTo, _ := c.Inc(v)
+				for k := range incFrom {
+					if int(incFrom[k]) == from && int(incTo[k]) == to {
+						hits++
+					}
+				}
+				if hits != 1 {
+					t.Fatalf("trial %d: edge %d->%d appears %d times in Inc(%d), want 1", trial, from, to, hits, v)
+				}
+			}
+		})
+	}
+}
+
+// TestCSRCostMatchesGraph is the frozen-form oracle: on fuzzed graphs
+// and numberings — including unallocated (-1) nodes and numberings
+// shorter than the node count — CSR.Cost, NodeCost and PermCost agree
+// exactly with the map-backed Graph.
+func TestCSRCostMatchesGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(16)
+		regN := 2 + rng.Intn(16)
+		diffN := 1 + rng.Intn(regN)
+		g := randGraph(rng, n)
+		c := g.Freeze()
+		m := randNumbering(rng, n, regN)
+		regNoOf := func(node int) int {
+			if node < len(m) {
+				return m[node]
+			}
+			return -1
+		}
+
+		if got, want := c.Cost(regNoOf, regN, diffN), g.Cost(regNoOf, regN, diffN); got != want {
+			t.Fatalf("trial %d: CSR.Cost = %v, Graph.Cost = %v", trial, got, want)
+		}
+		if got, want := c.PermCost(m, regN, diffN), g.Cost(regNoOf, regN, diffN); got != want {
+			t.Fatalf("trial %d: CSR.PermCost = %v, Graph.Cost = %v", trial, got, want)
+		}
+		for v := 0; v < n; v++ {
+			if got, want := c.NodeCost(v, regNoOf, regN, diffN), g.NodeCost(v, regNoOf, regN, diffN); got != want {
+				t.Fatalf("trial %d: CSR.NodeCost(%d) = %v, Graph.NodeCost = %v", trial, v, got, want)
+			}
+		}
+
+		// A numbering shorter than the graph: nodes past its end are
+		// unallocated (the regNoOf(node) == -1 path in remapping, where
+		// the graph can outgrow RegN).
+		if n > 1 {
+			short := m[:1+rng.Intn(n-1)]
+			shortOf := func(node int) int {
+				if node < len(short) {
+					return short[node]
+				}
+				return -1
+			}
+			if got, want := c.PermCost(short, regN, diffN), g.Cost(shortOf, regN, diffN); got != want {
+				t.Fatalf("trial %d: short PermCost = %v, Graph.Cost = %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestSwapDeltaMatchesRescore checks the pair-probe against the whole-
+// numbering oracle: for random swaps, PermCost(after) - PermCost(before)
+// equals SwapDelta exactly (all weights exactly representable).
+func TestSwapDeltaMatchesRescore(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		regN := 2 + rng.Intn(14)
+		diffN := 1 + rng.Intn(regN)
+		g := randGraph(rng, regN)
+		c := g.Freeze()
+		perm := rng.Perm(regN)
+		i := rng.Intn(regN)
+		j := rng.Intn(regN)
+		if i == j {
+			continue
+		}
+		before := c.PermCost(perm, regN, diffN)
+		delta := c.SwapDelta(perm, i, j, regN, diffN)
+		perm[i], perm[j] = perm[j], perm[i]
+		after := c.PermCost(perm, regN, diffN)
+		if before+delta != after {
+			t.Fatalf("trial %d (RegN=%d DiffN=%d swap %d,%d): before %v + delta %v != after %v",
+				trial, regN, diffN, i, j, before, delta, after)
+		}
+	}
+}
+
+func TestFreezeEmptyAndIsolated(t *testing.T) {
+	c := New(0).Freeze()
+	if c.NumEdges() != 0 || c.Cost(func(int) int { return 0 }, 4, 2) != 0 {
+		t.Fatal("empty graph should freeze to zero edges and zero cost")
+	}
+	g := New(5) // nodes but no edges
+	c = g.Freeze()
+	perm := []int{4, 3, 2, 1, 0}
+	if c.PermCost(perm, 5, 1) != 0 {
+		t.Fatal("isolated nodes must cost nothing")
+	}
+	if c.SwapDelta(perm, 0, 4, 5, 1) != 0 {
+		t.Fatal("swap in an edgeless graph must be free")
+	}
+}
+
+// TestFreezeIsSnapshot: AddWeight after Freeze must not leak into the
+// frozen form.
+func TestFreezeIsSnapshot(t *testing.T) {
+	g := New(3)
+	g.AddWeight(0, 1, 1)
+	c := g.Freeze()
+	g.AddWeight(1, 2, 1)
+	g.AddWeight(0, 1, 1) // accumulates on the builder only
+	if c.NumEdges() != 1 {
+		t.Fatalf("frozen edge count changed: %d", c.NumEdges())
+	}
+	id := []int{0, 1, 2}
+	if got := c.PermCost(id, 3, 1); got != 1 {
+		t.Fatalf("frozen weight changed: %v", got)
+	}
+}

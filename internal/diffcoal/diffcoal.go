@@ -186,7 +186,7 @@ type coalesceState struct {
 	opts        Options
 	n           int
 	ig          *regalloc.Graph
-	adj         *adjacency.Graph
+	adj         *adjacency.CSR
 	alias       []int
 	moves       []moveInfo
 	cost        []float64
@@ -205,7 +205,9 @@ func newCoalesceState(f *ir.Func, opts Options) *coalesceState {
 		opts: opts,
 		n:    f.NumRegs(),
 		ig:   regalloc.Build(f, info),
-		adj:  adjacency.BuildVReg(f),
+		// Frozen once per attempt: the coalescing loop's inner coloring
+		// probes score against the CSR form, not the builder's maps.
+		adj:  adjacency.BuildVReg(f).Freeze(),
 		cost: liveness.SpillCosts(f),
 	}
 	cs.alias = identity(cs.n)

@@ -28,11 +28,13 @@ type Params struct {
 
 // NewFactory returns an irc.PickerFactory implementing differential
 // select. For every allocation round it rebuilds the adjacency graph
-// over the round's live ranges; when scoring a candidate color for a
-// node it accounts for every live range coalesced into that node.
+// over the round's live ranges and freezes it to its CSR form — the
+// scoring below walks incidence slices, not the builder's maps; when
+// scoring a candidate color for a node it accounts for every live
+// range coalesced into that node.
 func NewFactory(p Params) irc.PickerFactory {
 	return func(f *ir.Func, aliasOf func(int) int) irc.ColorPicker {
-		g := adjacency.BuildVReg(f)
+		g := adjacency.BuildVReg(f).Freeze()
 		n := f.NumRegs()
 		return func(v int, okColors []int, colorOf func(int) int) int {
 			members := membersOf(v, n, aliasOf)
@@ -52,8 +54,12 @@ func NewFactory(p Params) irc.PickerFactory {
 }
 
 // PickCost exposes the scoring used by the picker so that differential
-// coalesce can evaluate colorings with identical logic.
-func PickCost(g *adjacency.Graph, members []int, self, color int, colorOf func(int) int, aliasOf func(int) int, p Params) float64 {
+// coalesce and the refinement post-pass can evaluate colorings with
+// identical logic. g is the frozen CSR of the live-range adjacency
+// graph (adjacency.Graph.Freeze). members must list the complete
+// coalescing class of self (every u with aliasOf(u) == self, plus
+// self): scoring walks only the members' incident edges.
+func PickCost(g *adjacency.CSR, members []int, self, color int, colorOf func(int) int, aliasOf func(int) int, p Params) float64 {
 	return candidateCost(g, members, self, color, colorOf, aliasOf, p)
 }
 
@@ -75,27 +81,39 @@ func membersOf(v, n int, aliasOf func(int) int) []int {
 // candidate color. Edges to uncolored neighbors are free: their color
 // will be chosen later with this node's choice already visible.
 // Edges between two members cost nothing (difference 0).
-func candidateCost(g *adjacency.Graph, members []int, self, color int, colorOf func(int) int, aliasOf func(int) int, p Params) float64 {
+//
+// Only the members' incidence slices are walked — an edge with no
+// endpoint in the class cannot contribute — so a probe costs
+// O(deg(members)) rather than O(E). An edge between two members
+// appears in both incidence lists but both visits skip it (in-class,
+// difference 0), so nothing is double counted.
+func candidateCost(g *adjacency.CSR, members []int, self, color int, colorOf func(int) int, aliasOf func(int) int, p Params) float64 {
 	memberSet := make(map[int]bool, len(members))
 	for _, m := range members {
 		memberSet[m] = true
 	}
 	inClass := func(u int) bool { return memberSet[u] || aliasOf(u) == self }
 	cost := 0.0
-	g.Edges(func(from, to int, w float64) {
-		fromIn, toIn := inClass(from), inClass(to)
-		switch {
-		case fromIn && toIn:
-			// Both map to the candidate color: difference 0, free.
-		case fromIn:
-			if tc := colorOf(to); tc >= 0 && !adjacency.Satisfied(color, tc, p.RegN, p.DiffN) {
-				cost += w
-			}
-		case toIn:
-			if fc := colorOf(from); fc >= 0 && !adjacency.Satisfied(fc, color, p.RegN, p.DiffN) {
-				cost += w
+	for _, m := range members {
+		if m >= g.N {
+			continue
+		}
+		from, to, w := g.Inc(m)
+		for k := range w {
+			if f := int(from[k]); f == m {
+				// Edge m -> to: member is the source.
+				if t := int(to[k]); !inClass(t) {
+					if tc := colorOf(t); tc >= 0 && !adjacency.Satisfied(color, tc, p.RegN, p.DiffN) {
+						cost += w[k]
+					}
+				}
+			} else if !inClass(f) {
+				// Edge from -> m: member is the target.
+				if fc := colorOf(f); fc >= 0 && !adjacency.Satisfied(fc, color, p.RegN, p.DiffN) {
+					cost += w[k]
+				}
 			}
 		}
-	})
+	}
 	return cost
 }

@@ -119,9 +119,10 @@ func TestSelectNeverSpillsMoreThanBaseline(t *testing.T) {
 }
 
 func TestPickCostCountsBothDirections(t *testing.T) {
-	g := adjacency.New(3)
-	g.AddWeight(0, 1, 2) // node 1 follows node 0
-	g.AddWeight(1, 2, 3) // node 2 follows node 1
+	b := adjacency.New(3)
+	b.AddWeight(0, 1, 2) // node 1 follows node 0
+	b.AddWeight(1, 2, 3) // node 2 follows node 1
+	g := b.Freeze()
 	p := Params{RegN: 8, DiffN: 2}
 	aliasOf := func(v int) int { return v }
 	colorOf := func(v int) int {
@@ -150,9 +151,10 @@ func TestPickCostCountsBothDirections(t *testing.T) {
 }
 
 func TestPickCostMergedMembersAreFree(t *testing.T) {
-	g := adjacency.New(4)
-	g.AddWeight(0, 1, 5) // both members of the same class
-	g.AddWeight(1, 2, 1)
+	b := adjacency.New(4)
+	b.AddWeight(0, 1, 5) // both members of the same class
+	b.AddWeight(1, 2, 1)
+	g := b.Freeze()
 	p := Params{RegN: 8, DiffN: 2}
 	aliasOf := func(v int) int {
 		if v == 1 {

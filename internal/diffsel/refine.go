@@ -24,7 +24,7 @@ func Refine(f *ir.Func, asn *regalloc.Assignment, p Params) int {
 // RefineProfile is Refine with measured block frequencies driving the
 // adjacency edge weights (nil falls back to the static estimate).
 func RefineProfile(f *ir.Func, asn *regalloc.Assignment, p Params, freq map[*ir.Block]float64) int {
-	g := adjacency.BuildVRegProfile(f, freq)
+	g := adjacency.BuildVRegProfile(f, freq).Freeze()
 	info := liveness.Compute(f)
 	ig := regalloc.Build(f, info)
 

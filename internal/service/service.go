@@ -94,6 +94,12 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not set TimeoutMs
 	// (0: 30s).
 	DefaultTimeout time.Duration
+	// RemapWorkers bounds the parallelism of each compile's remapping
+	// search (diffra.Options.RemapWorkers). 0 keeps it serial: the pool
+	// already runs one compile per core, so intra-compile parallelism
+	// only helps when the server is otherwise idle. The remap result is
+	// bit-identical at any setting, so it is excluded from cache keys.
+	RemapWorkers int
 	// Registry receives the service metrics (nil: telemetry.Default).
 	Registry *telemetry.Registry
 	// SelfCheck enables shadow oracling: every Nth successful compile
@@ -189,6 +195,12 @@ func (s *Server) compileCached(ctx context.Context, req Request) Response {
 	}.Resolved()
 	if err != nil {
 		return errResponse(err)
+	}
+	// After Resolved: RemapWorkers never alters the compile result, so
+	// it must not influence the resolved options a cache key hashes.
+	opts.RemapWorkers = s.cfg.RemapWorkers
+	if opts.RemapWorkers <= 0 {
+		opts.RemapWorkers = 1
 	}
 	switch opts.Scheme {
 	case diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce:

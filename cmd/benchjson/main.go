@@ -1,14 +1,19 @@
 // Command benchjson persists the compiler's performance trajectory:
-// it runs the remap-search, encoding and allocator micro-benchmarks
-// in-process (via testing.Benchmark, so the numbers match
-// `go test -bench`) and writes them to a JSON file with enough host
-// context to interpret them later. The checked-in BENCH_remap.json at
-// the repository root is the baseline; regenerate it with
+// it runs micro-benchmarks in-process (via testing.Benchmark, so the
+// numbers match `go test -bench`) and writes them to a JSON file with
+// enough host context to interpret them later. Two suites exist:
 //
-//	go run ./cmd/benchjson -o BENCH_remap.json
+//	go run ./cmd/benchjson -suite remap -o BENCH_remap.json
+//	go run ./cmd/benchjson -suite ilp   -o BENCH_ilp.json
 //
-// and compare the ns/op, evals/sec and allocs/op columns against the
-// previous revision before accepting a change to the search hot path.
+// The remap suite covers the remap-search, encoding and allocator hot
+// paths; the ilp suite covers the exact-spilling branch-and-bound
+// (decomposed solver vs the retained legacy baseline, plus the
+// end-to-end ospill decision on a real kernel). The checked-in
+// BENCH_remap.json and BENCH_ilp.json at the repository root are the
+// baselines; compare the ns/op, evals/sec, nodes/sec and allocs/op
+// columns against the previous revision before accepting a change to
+// either hot path.
 package main
 
 import (
@@ -21,8 +26,10 @@ import (
 
 	"diffra/internal/adjacency"
 	"diffra/internal/diffenc"
+	"diffra/internal/ilp"
 	"diffra/internal/ir"
 	"diffra/internal/irc"
+	"diffra/internal/ospill"
 	"diffra/internal/remap"
 	"diffra/internal/workloads"
 )
@@ -37,6 +44,9 @@ type result struct {
 	// EvalsPerSec is the remap searches' cost-evaluation throughput
 	// (zero for benchmarks that are not searches).
 	EvalsPerSec float64 `json:"evals_per_sec,omitempty"`
+	// NodesPerSec is the ILP solvers' branch-and-bound node throughput
+	// (zero for benchmarks that are not solves).
+	NodesPerSec float64 `json:"nodes_per_sec,omitempty"`
 }
 
 type report struct {
@@ -54,8 +64,25 @@ type report struct {
 	// ns/op: the single-threaded win of the CSR + register-cost-matrix
 	// hot path. SpeedupWorkers8 is serial engine ns/op over the
 	// 8-worker ns/op — wall-clock parallel scaling, bounded by NumCPU.
-	SpeedupCSRSerial float64 `json:"speedup_csr_serial"`
-	SpeedupWorkers8  float64 `json:"speedup_workers_8"`
+	// (Remap suite only.)
+	SpeedupCSRSerial float64 `json:"speedup_csr_serial,omitempty"`
+	SpeedupWorkers8  float64 `json:"speedup_workers_8,omitempty"`
+
+	// SpeedupLegacySerial is legacy ns/op over the decomposed solver's
+	// serial ns/op on the hard-disjoint family — the single-threaded
+	// structural win of decomposition + bound strengthening.
+	// OverlapNodesPerSecRatio is the decomposed solver's nodes/sec
+	// over legacy's on the hard-overlap family: on one connected
+	// component ns/op is incomparable (legacy truncates at its node
+	// budget while the decomposed solver proves optimality), so the
+	// per-node throughput of the flat-arena search is the honest
+	// number there. SpeedupILPWorkers8 is the decomposed solver's
+	// serial ns/op over its 8-worker ns/op on hard-disjoint —
+	// wall-clock parallel scaling, bounded by NumCPU. (ILP suite
+	// only.)
+	SpeedupLegacySerial     float64 `json:"speedup_legacy_serial,omitempty"`
+	OverlapNodesPerSecRatio float64 `json:"overlap_nodes_per_sec_ratio,omitempty"`
+	SpeedupILPWorkers8      float64 `json:"speedup_ilp_workers_8,omitempty"`
 }
 
 // remapWorkload rebuilds the BenchmarkRemapGreedy setup from the root
@@ -82,21 +109,19 @@ func run(name string, fn func(b *testing.B)) result {
 	if evals, ok := r.Extra["evals/s"]; ok {
 		row.EvalsPerSec = evals
 	}
+	if nodes, ok := r.Extra["nodes/s"]; ok {
+		row.NodesPerSec = nodes
+	}
 	fmt.Fprintf(os.Stderr, "%-28s %12.0f ns/op %10d allocs/op\n", name, row.NsPerOp, row.AllocsPerOp)
 	return row
 }
 
 func main() {
-	out := flag.String("o", "BENCH_remap.json", "output file (- for stdout)")
+	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp")
+	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	flag.Parse()
-
-	g, opts, err := remapWorkload()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	reportEvals := func(b *testing.B, evals int) {
-		b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
+	if *out == "" {
+		*out = "BENCH_" + *suite + ".json"
 	}
 
 	rep := report{
@@ -105,6 +130,43 @@ func main() {
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	switch *suite {
+	case "remap":
+		runRemapSuite(&rep)
+	case "ilp":
+		runILPSuite(&rep)
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap or ilp)\n", *suite)
+		os.Exit(2)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+func runRemapSuite(rep *report) {
+	g, opts, err := remapWorkload()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	reportEvals := func(b *testing.B, evals int) {
+		b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "evals/s")
 	}
 
 	rep.Benchmarks = append(rep.Benchmarks, run("RemapGreedy/legacy", func(b *testing.B) {
@@ -165,20 +227,67 @@ func main() {
 	if serial, w8 := byName["RemapGreedy/workers=1"], byName["RemapGreedy/workers=8"]; w8.NsPerOp > 0 {
 		rep.SpeedupWorkers8 = serial.NsPerOp / w8.NsPerOp
 	}
+}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+// runILPSuite benchmarks the exact-spilling branch-and-bound on the
+// two synthetic hard families (mirroring BenchmarkILPSolve in
+// internal/ilp) and the end-to-end ospill decision on the susan
+// kernel at K=6, where register pressure forces a non-trivial ILP.
+func runILPSuite(rep *report) {
+	disjoint := ilp.HardDisjoint(8, 12, 6)
+	overlap := ilp.HardOverlap(8, 12, 6)
+	reportNodes := func(b *testing.B, nodes int) {
+		b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+	families := []struct {
+		name string
+		p    ilp.Problem
+	}{{"disjoint", disjoint}, {"overlap", overlap}}
+	for _, fam := range families {
+		fam := fam
+		rep.Benchmarks = append(rep.Benchmarks, run("ILPSolve/"+fam.name+"/legacy", func(b *testing.B) {
+			b.ReportAllocs()
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				nodes += ilp.LegacySolve(fam.p, ilp.Options{MaxNodes: 50000}).Nodes
+			}
+			reportNodes(b, nodes)
+		}))
+		for _, workers := range []int{1, 2, 8} {
+			opts := ilp.Options{MaxNodes: 50000, Workers: workers}
+			rep.Benchmarks = append(rep.Benchmarks, run(fmt.Sprintf("ILPSolve/%s/workers=%d", fam.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				nodes := 0
+				for i := 0; i < b.N; i++ {
+					nodes += ilp.Solve(fam.p, opts).Nodes
+				}
+				reportNodes(b, nodes)
+			}))
+		}
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	susan := workloads.KernelByName("susan")
+	rep.Benchmarks = append(rep.Benchmarks, run("OspillDecide/susan", func(b *testing.B) {
+		b.ReportAllocs()
+		nodes := 0
+		for i := 0; i < b.N; i++ {
+			_, _, st := ospill.DecideSpillsExtended(susan.F, 6, 0)
+			nodes += st.ILPNodes
+		}
+		reportNodes(b, nodes)
+	}))
+
+	byName := map[string]result{}
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if legacy, serial := byName["ILPSolve/disjoint/legacy"], byName["ILPSolve/disjoint/workers=1"]; serial.NsPerOp > 0 {
+		rep.SpeedupLegacySerial = legacy.NsPerOp / serial.NsPerOp
+	}
+	if legacy, serial := byName["ILPSolve/overlap/legacy"], byName["ILPSolve/overlap/workers=1"]; legacy.NodesPerSec > 0 {
+		rep.OverlapNodesPerSecRatio = serial.NodesPerSec / legacy.NodesPerSec
+	}
+	if serial, w8 := byName["ILPSolve/disjoint/workers=1"], byName["ILPSolve/disjoint/workers=8"]; w8.NsPerOp > 0 {
+		rep.SpeedupILPWorkers8 = serial.NsPerOp / w8.NsPerOp
+	}
 }

@@ -40,6 +40,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain limit")
 	selfCheck := flag.Int("selfcheck", 0, "shadow-oracle every Nth successful compile against the reference interpreter (0 = off; see service_selfcheck_* metrics)")
 	remapWorkers := flag.Int("remap-workers", 0, "parallel remap-search workers per compile (0 = serial; the pool already compiles one request per core)")
+	spillWorkers := flag.Int("spill-workers", 0, "parallel spill-ILP workers per compile (0 = serial; bit-identical result at any count)")
 	flag.Parse()
 
 	srv := service.NewHTTP(service.Config{
@@ -49,6 +50,7 @@ func main() {
 		DefaultTimeout:  *timeout,
 		SelfCheck:       *selfCheck,
 		RemapWorkers:    *remapWorkers,
+		SpillWorkers:    *spillWorkers,
 	})
 
 	l, err := net.Listen("tcp", *addr)

@@ -71,6 +71,12 @@ type Options struct {
 	// permutation — so this only trades wall-clock time for CPU and
 	// never participates in result caching.
 	RemapWorkers int
+	// SpillWorkers bounds the goroutines the optimal-spill ILP solver
+	// (OSpill and Coalesce schemes) searches across (0 or 1: serial).
+	// The solver is deterministic at any worker count — same options,
+	// same spill set — so, like RemapWorkers, this only trades
+	// wall-clock time for CPU and never participates in result caching.
+	SpillWorkers int
 	// Telemetry, when non-nil, receives one span tree per compiled
 	// function (compile → allocate/remap/refine/verify/encode/check).
 	// Nil costs nothing.
@@ -235,9 +241,9 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 		}
 	case OSpill:
 		differential = false
-		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Trace: alloc, Cancel: cancelled})
+		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Workers: opts.SpillWorkers, Trace: alloc, Cancel: cancelled})
 	case Coalesce:
-		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc, Cancel: cancelled})
+		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, SpillWorkers: opts.SpillWorkers, Trace: alloc, Cancel: cancelled})
 		alloc.End()
 		if err == nil {
 			applyRemap(out, asn, opts, root, cancelled)

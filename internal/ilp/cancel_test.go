@@ -1,40 +1,42 @@
 package ilp
 
 import (
-	"math/rand"
+	"sync/atomic"
 	"testing"
 )
 
-// hardDisjoint builds groups of disjoint constraints with near-uniform
-// costs: the per-constraint lower bound is loose across groups, so the
-// search explores many nodes before proving optimality.
-func hardDisjoint(groups, width, need int) Problem {
-	rng := rand.New(rand.NewSource(7))
-	n := groups * width
-	p := Problem{Costs: make([]float64, n)}
-	for i := range p.Costs {
-		p.Costs[i] = 10 + float64(rng.Intn(3))
+// assertFeasible checks sol.X against the problem's constraints.
+func assertFeasible(t *testing.T, p Problem, x []bool) {
+	t.Helper()
+	if x == nil {
+		t.Fatal("no incumbent returned")
 	}
-	for g := 0; g < groups; g++ {
-		vars := make([]int, width)
-		for i := range vars {
-			vars[i] = g*width + i
+	for _, c := range sanitize(p, len(p.Costs)) {
+		cnt := 0
+		for _, v := range c.Vars {
+			if x[v] {
+				cnt++
+			}
 		}
-		p.Constraints = append(p.Constraints, Constraint{Vars: vars, Need: need})
+		if cnt < c.Need {
+			t.Fatal("infeasible incumbent")
+		}
 	}
-	return p
 }
 
 func TestCancelStopsSearch(t *testing.T) {
-	p := hardDisjoint(8, 12, 6)
-	full := Solve(p, Options{MaxNodes: 50000})
+	// HardOverlap is one connected component, so preprocessing cannot
+	// shortcut it and the search genuinely burns nodes.
+	p := HardOverlap(8, 12, 6)
+	full := Solve(p, Options{MaxNodes: 2000})
 	if full.Nodes < 10000 {
 		t.Fatalf("instance too easy to observe cancellation: %d nodes", full.Nodes)
 	}
 
-	// An immediately-true cancel hook is polled every ~64 nodes, so the
-	// cancelled search must stop after a small fraction of the full run.
-	sol := Solve(p, Options{MaxNodes: 50000, Cancel: func() bool { return true }})
+	// An immediately-true cancel hook is polled every ~64 nodes and
+	// before each work item, so the cancelled search must stop after a
+	// small fraction of the full run.
+	sol := Solve(p, Options{MaxNodes: 2000, Cancel: func() bool { return true }})
 	if !sol.Cancelled {
 		t.Fatal("Cancelled not reported")
 	}
@@ -45,24 +47,53 @@ func TestCancelStopsSearch(t *testing.T) {
 		t.Fatalf("cancel ignored: explored %d nodes", sol.Nodes)
 	}
 	// The greedy incumbent must still be feasible.
-	if sol.X == nil {
-		t.Fatal("cancelled solve returned no incumbent")
+	assertFeasible(t, p, sol.X)
+}
+
+func TestLegacyCancelStopsSearch(t *testing.T) {
+	// HardDisjoint is trivial for Solve (it decomposes) but hard for
+	// the retained legacy baseline, whose cancellation contract must
+	// also keep working.
+	p := HardDisjoint(8, 12, 6)
+	full := LegacySolve(p, Options{MaxNodes: 50000})
+	if full.Nodes < 10000 {
+		t.Fatalf("instance too easy to observe cancellation: %d nodes", full.Nodes)
 	}
-	for _, c := range p.Constraints {
-		cnt := 0
-		for _, v := range c.Vars {
-			if sol.X[v] {
-				cnt++
-			}
+	sol := LegacySolve(p, Options{MaxNodes: 50000, Cancel: func() bool { return true }})
+	if !sol.Cancelled || sol.Optimal || sol.Nodes > 256 {
+		t.Fatalf("legacy cancel ignored: %+v", sol)
+	}
+	assertFeasible(t, p, sol.X)
+}
+
+// TestParallelCancelPollingBound: every worker polls Cancel before
+// each claimed work item and about every 64 nodes inside a search, so
+// after the hook starts returning true the whole solve stops within
+// ~64 nodes per outstanding false poll plus one final poll per worker.
+func TestParallelCancelPollingBound(t *testing.T) {
+	p := HardOverlap(8, 12, 6)
+	for _, workers := range []int{1, 4, 8} {
+		var polls atomic.Int64
+		cancel := func() bool { return polls.Add(1) > 16 }
+		sol := Solve(p, Options{MaxNodes: 100000, Workers: workers, Cancel: cancel})
+		if !sol.Cancelled {
+			t.Fatalf("workers=%d: Cancelled not reported", workers)
 		}
-		if cnt < c.Need {
-			t.Fatal("cancelled solve returned infeasible incumbent")
+		if sol.Optimal {
+			t.Fatalf("workers=%d: cancelled solve claims optimality", workers)
 		}
+		// At most 16 polls return false; each false poll licenses at
+		// most 64 further nodes on its worker, plus one poll per item
+		// claim that explores nothing.
+		if limit := 64 * (16 + workers); sol.Nodes > limit {
+			t.Fatalf("workers=%d: explored %d nodes after cancel, want <= %d", workers, sol.Nodes, limit)
+		}
+		assertFeasible(t, p, sol.X)
 	}
 }
 
 func TestNilCancelUnchanged(t *testing.T) {
-	p := hardDisjoint(2, 6, 3)
+	p := HardDisjoint(2, 6, 3)
 	a := Solve(p, Options{})
 	b := Solve(p, Options{Cancel: func() bool { return false }})
 	if a.Cost != b.Cost || a.Optimal != b.Optimal || a.Cancelled || b.Cancelled {

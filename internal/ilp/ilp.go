@@ -10,6 +10,18 @@
 //	minimize   sum_v cost[v] * x[v]
 //	subject to sum_{v in Vars_i} x[v] >= Need_i   for every constraint i
 //	           x[v] in {0, 1}
+//
+// Solve preprocesses the instance (variable fixing, constraint
+// dominance), splits the constraint hypergraph into connected
+// components, and searches each component with a trail-based branch
+// and bound using an incrementally-maintained disjoint-sum lower
+// bound. Components — and deterministic root-fixed subtrees of large
+// components — form a fixed work-item list solved across
+// Options.Workers goroutines with the atomic-claim protocol from
+// internal/remap; the reduction is worker-count independent, so X,
+// Cost, Optimal and Nodes are bit-identical at any worker count. The
+// pre-decomposition solver is retained as LegacySolve (benchmark
+// baseline and quality oracle).
 package ilp
 
 import (
@@ -18,6 +30,8 @@ import (
 )
 
 var inf = math.Inf(1)
+
+const defaultMaxNodes = 500000
 
 // feasible reports whether x satisfies every constraint.
 func feasible(cons []Constraint, x []bool) bool {
@@ -53,12 +67,19 @@ type Problem struct {
 
 // Options bounds the search.
 type Options struct {
-	// MaxNodes caps branch-and-bound nodes (0: 500000).
+	// MaxNodes caps branch-and-bound nodes per independently-solved
+	// work item (0: 500000). The cap is per item, not global, so the
+	// budget semantics are independent of the worker count.
 	MaxNodes int
-	// Cancel, when non-nil, is polled about every 64 nodes; returning
-	// true aborts the search. The solution reports Cancelled and holds
-	// the best incumbent found so far (always feasible when non-nil).
+	// Cancel, when non-nil, is polled about every 64 nodes by every
+	// worker; returning true aborts the search. The solution reports
+	// Cancelled and holds the best incumbent found so far (always
+	// feasible when non-nil).
 	Cancel func() bool
+	// Workers is the number of goroutines solving work items
+	// concurrently (0 or 1: serial). The result is bit-identical at
+	// any worker count.
+	Workers int
 }
 
 // Solution is the solver output.
@@ -70,54 +91,102 @@ type Solution struct {
 	Optimal bool
 	// Cancelled is true when Options.Cancel aborted the search.
 	Cancelled bool
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored, summed
+	// across all work items (worker-count independent).
 	Nodes int
+	// Components is the number of connected components the constraint
+	// hypergraph decomposed into after preprocessing.
+	Components int
+	// Reductions counts preprocessing simplifications: variables fixed
+	// and constraints dropped before the search started.
+	Reductions int
+	// Pruned counts subtrees cut by the lower bound or by branch
+	// infeasibility, summed across all work items.
+	Pruned int
 }
 
-// Solve runs branch and bound with a greedy incumbent and a
-// per-constraint lower bound. A feasible solution always exists
-// (setting every variable covers every satisfiable constraint);
-// constraints with Need greater than their variable count are
-// truncated to the variable count.
+// Solve runs the decomposed branch and bound. A feasible solution
+// always exists unless exclusivity groups make the instance
+// infeasible (then X is nil and Cost is +Inf); constraints with Need
+// greater than their variable count are truncated to the variable
+// count.
 func Solve(p Problem, opts Options) Solution {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
-		maxNodes = 500000
+		maxNodes = defaultMaxNodes
 	}
 	n := len(p.Costs)
-	cons := sanitize(p, n)
 
-	s := &solver{p: p, cons: cons, n: n, maxNodes: maxNodes, cancel: opts.Cancel}
-	s.groupsOf = make([][]int, n)
-	for gi, g := range p.Exclusive {
-		for _, v := range g {
-			if v >= 0 && v < n {
-				s.groupsOf[v] = append(s.groupsOf[v], gi)
+	pre := preprocess(p, n)
+	sol := Solution{
+		Components: len(pre.comps),
+		Reductions: pre.reductions,
+	}
+	if pre.infeasible {
+		// Preprocessing proved no assignment satisfies the constraints
+		// under the exclusivity groups; match LegacySolve's contract.
+		sol.Cost = inf
+		sol.Optimal = false
+		return sol
+	}
+
+	items := buildItems(pre)
+	results := solveItems(pre, items, maxNodes, opts)
+
+	// Deterministic reduce: per component, the best item result by
+	// (cost, lowest item index); greedy incumbent as fallback.
+	x := make([]bool, n)
+	for v := 0; v < n; v++ {
+		x[v] = pre.fixed[v] == 1
+	}
+	optimal := true
+	for ci, c := range pre.comps {
+		bestItem := -1
+		compOptimal := true
+		for idx, it := range items {
+			if it.comp != ci {
+				continue
+			}
+			r := results[idx]
+			sol.Nodes += r.nodes
+			sol.Pruned += r.pruned
+			if r.cancelled {
+				sol.Cancelled = true
+			}
+			if !r.optimal {
+				compOptimal = false
+			}
+			if r.found && (bestItem < 0 || r.cost < results[bestItem].cost) {
+				bestItem = idx
 			}
 		}
+		switch {
+		case bestItem >= 0:
+			r := results[bestItem]
+			for li, on := range r.x {
+				x[c.vars[li]] = on
+			}
+		case c.greedy != nil:
+			for li, on := range c.greedy {
+				x[c.vars[li]] = on
+			}
+		default:
+			// No feasible assignment found for this component; if every
+			// item finished, that is a proof of infeasibility, otherwise
+			// the budget ran out before one was found. Either way the
+			// whole instance has no known feasible solution.
+			sol.Cost = inf
+			sol.Optimal = false
+			return sol
+		}
+		if !compOptimal {
+			optimal = false
+		}
 	}
-	// The greedy incumbent must respect exclusivity; banning a group
-	// peer can strand a constraint whose only cover was the banned
-	// variable, so the incumbent is validated and discarded (infinite
-	// bound) when infeasible — branch and bound then finds the first
-	// feasible solution itself.
-	s.best = greedyExclusive(p, cons, n)
-	if feasible(cons, s.best) {
-		s.bestCost = totalCost(p.Costs, s.best)
-	} else {
-		s.best = nil
-		s.bestCost = inf
-	}
-
-	x := make([]int8, n) // -1 fixed 0, +1 fixed 1, 0 free
-	s.branch(x, 0)
-
-	if s.best == nil {
-		// No feasible solution found within budget (only possible with
-		// exclusivity groups); report explicitly.
-		return Solution{X: nil, Cost: inf, Optimal: false, Cancelled: s.cancelled, Nodes: s.nodes}
-	}
-	return Solution{X: s.best, Cost: s.bestCost, Optimal: !s.out, Cancelled: s.cancelled, Nodes: s.nodes}
+	sol.X = x
+	sol.Cost = totalCost(p.Costs, x)
+	sol.Optimal = optimal && !sol.Cancelled
+	return sol
 }
 
 func sanitize(p Problem, n int) []Constraint {
@@ -143,90 +212,6 @@ func sanitize(p Problem, n int) []Constraint {
 	return cons
 }
 
-// greedyExclusive builds an initial feasible incumbent: repeatedly
-// pick the variable with the best deficit-coverage per cost, skipping
-// variables whose exclusivity-group peer was already chosen.
-func greedyExclusive(p Problem, cons []Constraint, n int) []bool {
-	banned := make([]bool, n)
-	ban := func(v int) {
-		for _, g := range p.Exclusive {
-			inGroup := false
-			for _, u := range g {
-				if u == v {
-					inGroup = true
-					break
-				}
-			}
-			if inGroup {
-				for _, u := range g {
-					if u != v && u >= 0 && u < n {
-						banned[u] = true
-					}
-				}
-			}
-		}
-	}
-	costs := p.Costs
-	x := make([]bool, n)
-	deficit := make([]int, len(cons))
-	for i, c := range cons {
-		deficit[i] = c.Need
-	}
-	for {
-		done := true
-		for _, d := range deficit {
-			if d > 0 {
-				done = false
-				break
-			}
-		}
-		if done {
-			return x
-		}
-		bestV, bestScore := -1, 0.0
-		for v := 0; v < n; v++ {
-			if x[v] || banned[v] {
-				continue
-			}
-			cover := 0
-			for i, c := range cons {
-				if deficit[i] <= 0 {
-					continue
-				}
-				for _, cv := range c.Vars {
-					if cv == v {
-						cover++
-						break
-					}
-				}
-			}
-			if cover == 0 {
-				continue
-			}
-			score := float64(cover) / (costs[v] + 1e-9)
-			if bestV < 0 || score > bestScore {
-				bestV, bestScore = v, score
-			}
-		}
-		if bestV < 0 {
-			return x // remaining constraints unsatisfiable; sanitize prevents this
-		}
-		x[bestV] = true
-		ban(bestV)
-		for i, c := range cons {
-			if deficit[i] <= 0 {
-				continue
-			}
-			for _, cv := range c.Vars {
-				if cv == bestV {
-					deficit[i]--
-					break
-				}
-			}
-		}
-	}
-}
-
 func totalCost(costs []float64, x []bool) float64 {
 	t := 0.0
 	for v, on := range x {
@@ -235,162 +220,4 @@ func totalCost(costs []float64, x []bool) float64 {
 		}
 	}
 	return t
-}
-
-type solver struct {
-	p         Problem
-	cons      []Constraint
-	n         int
-	maxNodes  int
-	nodes     int
-	out       bool
-	cancel    func() bool
-	cancelled bool
-	groupsOf  [][]int // var -> indexes into p.Exclusive
-
-	best     []bool
-	bestCost float64
-}
-
-// fixOne sets x[v]=1 and forces its exclusivity-group peers to 0,
-// recording every variable it changed so the caller can undo. It
-// returns false if a peer was already fixed to 1 (infeasible).
-func (s *solver) fixOne(x []int8, v int) ([]int, bool) {
-	changed := []int{v}
-	x[v] = 1
-	for _, gi := range s.groupsOf[v] {
-		for _, u := range s.p.Exclusive[gi] {
-			if u == v || u < 0 || u >= s.n {
-				continue
-			}
-			switch x[u] {
-			case 1:
-				// Conflict; undo and report infeasible.
-				for _, c := range changed {
-					x[c] = 0
-				}
-				return nil, false
-			case 0:
-				x[u] = -1
-				changed = append(changed, u)
-			}
-		}
-	}
-	return changed, true
-}
-
-// branch explores assignments. x holds fixed values; cur is the cost
-// of variables fixed to 1.
-func (s *solver) branch(x []int8, cur float64) {
-	if s.out {
-		return
-	}
-	s.nodes++
-	if s.nodes > s.maxNodes {
-		s.out = true
-		return
-	}
-	if s.cancel != nil && s.nodes&63 == 0 && s.cancel() {
-		s.out = true
-		s.cancelled = true
-		return
-	}
-	if cur+s.lowerBound(x) >= s.bestCost {
-		return
-	}
-
-	// Find the most violated constraint under the optimistic view
-	// (free variables could still go either way): a constraint is
-	// decided when its fixed ones already meet Need, dead when even
-	// all free ones cannot.
-	branchCon := -1
-	for i, c := range s.cons {
-		ones, free := s.tally(c, x)
-		switch {
-		case ones >= c.Need:
-			continue
-		case ones+free < c.Need:
-			return // infeasible branch
-		default:
-			if branchCon < 0 {
-				branchCon = i
-			}
-		}
-	}
-	if branchCon < 0 {
-		// All constraints satisfied: record incumbent.
-		if cur < s.bestCost {
-			s.bestCost = cur
-			s.best = make([]bool, s.n)
-			for v := range x {
-				s.best[v] = x[v] == 1
-			}
-		}
-		return
-	}
-
-	// Branch on the cheapest free variable of the chosen constraint.
-	c := s.cons[branchCon]
-	bv := -1
-	for _, v := range c.Vars {
-		if x[v] == 0 && (bv < 0 || s.p.Costs[v] < s.p.Costs[bv]) {
-			bv = v
-		}
-	}
-	// Try x[bv]=1 first (drives toward feasibility), propagating
-	// exclusivity groups.
-	if changed, ok := s.fixOne(x, bv); ok {
-		s.branch(x, cur+s.p.Costs[bv])
-		for _, c := range changed {
-			x[c] = 0
-		}
-	}
-	x[bv] = -1
-	s.branch(x, cur)
-	x[bv] = 0
-}
-
-func (s *solver) tally(c Constraint, x []int8) (ones, free int) {
-	for _, v := range c.Vars {
-		switch x[v] {
-		case 1:
-			ones++
-		case 0:
-			free++
-		}
-	}
-	return
-}
-
-// lowerBound: for each unmet constraint, the cheapest completion using
-// its free variables; the maximum over constraints is a valid bound
-// (they may share variables, so summing would overcount).
-func (s *solver) lowerBound(x []int8) float64 {
-	lb := 0.0
-	var buf []float64
-	for _, c := range s.cons {
-		ones, _ := s.tally(c, x)
-		need := c.Need - ones
-		if need <= 0 {
-			continue
-		}
-		buf = buf[:0]
-		for _, v := range c.Vars {
-			if x[v] == 0 {
-				buf = append(buf, s.p.Costs[v])
-			}
-		}
-		if len(buf) < need {
-			continue // infeasible; caller detects
-		}
-		sort.Float64s(buf)
-		sum := 0.0
-		for i := 0; i < need; i++ {
-			sum += buf[i]
-		}
-		if sum > lb {
-			lb = sum
-		}
-	}
-	return lb
 }

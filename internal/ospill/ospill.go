@@ -37,8 +37,13 @@ type Options struct {
 	// stage (see irc.Options).
 	Picker        irc.ColorPicker
 	PickerFactory irc.PickerFactory
-	// MaxNodes caps the ILP search (0: solver default).
+	// MaxNodes caps the ILP search per independently-solved work item
+	// (0: solver default).
 	MaxNodes int
+	// Workers is the goroutine count for the ILP solver's
+	// deterministic parallel search (0 or 1: serial). The spill set is
+	// bit-identical at any worker count.
+	Workers int
 	// DisableLoopSpills turns off loop-granularity spill placement
 	// (store once on loop entry, reload on exit, for ranges live
 	// through a loop but unreferenced inside it) and reverts to
@@ -75,6 +80,15 @@ type Stats struct {
 	// ILPNodes is the number of branch-and-bound nodes the solver
 	// explored (0 when no program was solved).
 	ILPNodes int
+	// ILPComponents is the number of connected components the solver's
+	// preprocessing split the covering instance into.
+	ILPComponents int
+	// ILPReductions counts preprocessing simplifications (variables
+	// fixed, constraints dropped) before the search.
+	ILPReductions int
+	// ILPPruned counts subtrees the solver cut by bound or branch
+	// infeasibility.
+	ILPPruned int
 	// Cancelled is true when the solve was aborted by a Cancel hook.
 	Cancelled bool
 }
@@ -134,13 +148,14 @@ func conKey(vars []int, need int) string {
 // DecideSpills runs the optimal spill phase on f (without rewriting):
 // it returns the chosen spill set and whether it is provably optimal.
 func DecideSpills(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, Stats) {
-	return DecideSpillsCancel(f, k, maxNodes, nil)
+	return DecideSpillsCancel(f, k, maxNodes, 0, nil)
 }
 
-// DecideSpillsCancel is DecideSpills with a cancellation hook polled by
-// the ILP solver; when it fires, the returned Stats report Cancelled
-// and the spill set is the best incumbent found so far.
-func DecideSpillsCancel(f *ir.Func, k, maxNodes int, cancel func() bool) (map[ir.Reg]bool, Stats) {
+// DecideSpillsCancel is DecideSpills with a solver worker count and a
+// cancellation hook polled by the ILP solver; when the hook fires, the
+// returned Stats report Cancelled and the spill set is the best
+// incumbent found so far.
+func DecideSpillsCancel(f *ir.Func, k, maxNodes, workers int, cancel func() bool) (map[ir.Reg]bool, Stats) {
 	prob := SpillProblem(f, k)
 	st := Stats{Constraints: len(prob.Constraints)}
 	spills := make(map[ir.Reg]bool)
@@ -148,9 +163,12 @@ func DecideSpillsCancel(f *ir.Func, k, maxNodes int, cancel func() bool) (map[ir
 		st.ILPOptimal = true
 		return spills, st
 	}
-	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Cancel: cancel})
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Workers: workers, Cancel: cancel})
 	st.ILPOptimal = sol.Optimal
 	st.ILPNodes = sol.Nodes
+	st.ILPComponents = sol.Components
+	st.ILPReductions = sol.Reductions
+	st.ILPPruned = sol.Pruned
 	st.Cancelled = sol.Cancelled
 	for v, on := range sol.X {
 		if on {
@@ -166,12 +184,12 @@ func DecideSpillsCancel(f *ir.Func, k, maxNodes int, cancel func() bool) (map[ir
 // spills. When the extended program yields no feasible solution within
 // budget, it falls back to the whole-range model (always feasible).
 func DecideSpillsExtended(f *ir.Func, k, maxNodes int) (map[ir.Reg]bool, []LoopSpillCandidate, Stats) {
-	return DecideSpillsExtendedCancel(f, k, maxNodes, nil)
+	return DecideSpillsExtendedCancel(f, k, maxNodes, 0, nil)
 }
 
-// DecideSpillsExtendedCancel is DecideSpillsExtended with a
-// cancellation hook polled by the ILP solver.
-func DecideSpillsExtendedCancel(f *ir.Func, k, maxNodes int, cancel func() bool) (map[ir.Reg]bool, []LoopSpillCandidate, Stats) {
+// DecideSpillsExtendedCancel is DecideSpillsExtended with a solver
+// worker count and a cancellation hook polled by the ILP solver.
+func DecideSpillsExtendedCancel(f *ir.Func, k, maxNodes, workers int, cancel func() bool) (map[ir.Reg]bool, []LoopSpillCandidate, Stats) {
 	prob, cands := ExtendedSpillProblem(f, k)
 	st := Stats{Constraints: len(prob.Constraints)}
 	spills := make(map[ir.Reg]bool)
@@ -179,13 +197,16 @@ func DecideSpillsExtendedCancel(f *ir.Func, k, maxNodes int, cancel func() bool)
 		st.ILPOptimal = true
 		return spills, nil, st
 	}
-	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Cancel: cancel})
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Workers: workers, Cancel: cancel})
 	if sol.X == nil {
-		spills, st = DecideSpillsCancel(f, k, maxNodes, cancel)
+		spills, st = DecideSpillsCancel(f, k, maxNodes, workers, cancel)
 		return spills, nil, st
 	}
 	st.ILPOptimal = sol.Optimal
 	st.ILPNodes = sol.Nodes
+	st.ILPComponents = sol.Components
+	st.ILPReductions = sol.Reductions
+	st.ILPPruned = sol.Pruned
 	st.Cancelled = sol.Cancelled
 	n := f.NumRegs()
 	var chosen []LoopSpillCandidate
@@ -213,17 +234,25 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 	var st Stats
 	ilpSpan := opts.Trace.Child("ilp")
 	if opts.DisableLoopSpills {
-		spills, st = DecideSpillsCancel(work, opts.K, opts.MaxNodes, opts.Cancel)
+		spills, st = DecideSpillsCancel(work, opts.K, opts.MaxNodes, opts.Workers, opts.Cancel)
 	} else {
-		spills, loopChosen, st = DecideSpillsExtendedCancel(work, opts.K, opts.MaxNodes, opts.Cancel)
+		spills, loopChosen, st = DecideSpillsExtendedCancel(work, opts.K, opts.MaxNodes, opts.Workers, opts.Cancel)
 	}
 	ilpSpan.Add("constraints", int64(st.Constraints))
 	ilpSpan.Add("nodes", int64(st.ILPNodes))
+	ilpSpan.Add("components", int64(st.ILPComponents))
+	ilpSpan.Add("reductions", int64(st.ILPReductions))
+	ilpSpan.Add("pruned", int64(st.ILPPruned))
 	ilpSpan.Add("spilled_ranges", int64(st.ILPSpilled))
 	ilpSpan.Add("loop_spills", int64(st.LoopSpilled))
 	ilpSpan.SetAttr("optimal", st.ILPOptimal)
 	ilpSpan.SetAttr("cancelled", st.Cancelled)
 	ilpSpan.End()
+	if !st.ILPOptimal && !st.Cancelled {
+		// Budget exhaustion silently degrades spill quality; make it
+		// visible in `diffra -metrics` output instead.
+		telemetry.Default.Counter("spill_nonoptimal").Inc()
+	}
 	if st.Cancelled || (opts.Cancel != nil && opts.Cancel()) {
 		return nil, nil, nil, ErrCancelled
 	}

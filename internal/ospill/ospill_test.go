@@ -1,11 +1,14 @@
 package ospill
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"diffra/internal/ir"
 	"diffra/internal/liveness"
 	"diffra/internal/regalloc"
+	"diffra/internal/telemetry"
 )
 
 // pressure6 keeps six values live at once inside a loop.
@@ -194,5 +197,50 @@ exit:
 	}
 	if err := regalloc.Verify(ircOut, ircAsn); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestNonOptimalCounterIncrements starves the solver with MaxNodes=1
+// so it falls back to the greedy incumbent, and asserts the silent
+// quality degradation is surfaced: Stats.ILPOptimal is false, the
+// allocation still verifies, and the process-wide spill_nonoptimal
+// counter (rendered by `diffra -metrics`) ticks.
+func TestNonOptimalCounterIncrements(t *testing.T) {
+	before := telemetry.Default.Counter("spill_nonoptimal").Value()
+	// Two clusters of 10 chain-overlapping ranges: hard enough that a
+	// one-node budget cannot close the search (preprocessing alone
+	// solves simpler shapes like pressure6 exactly).
+	var b strings.Builder
+	b.WriteString("func starve(v0) {\nentry:\n")
+	for i := 1; i <= 10; i++ {
+		fmt.Fprintf(&b, "  v%d = li %d\n", i, i)
+	}
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "  v%d = add v%d, v%d\n", 11+i, 1+i, 1+(i+1)%10)
+	}
+	acc := 11
+	for i := 1; i < 10; i++ {
+		fmt.Fprintf(&b, "  v%d = xor v%d, v%d\n", 21+i-1, acc, 11+i)
+		acc = 21 + i - 1
+	}
+	fmt.Fprintf(&b, "  ret v%d\n}\n", acc)
+	f := ir.MustParse(b.String())
+	out, asn, st, err := Allocate(f, Options{K: 6, MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ILPOptimal {
+		t.Fatal("MaxNodes=1 solve claims optimality")
+	}
+	if err := regalloc.Verify(out, asn); err != nil {
+		t.Fatal(err)
+	}
+	if got := telemetry.Default.Counter("spill_nonoptimal").Value(); got != before+1 {
+		t.Fatalf("spill_nonoptimal = %d, want %d", got, before+1)
+	}
+	var buf strings.Builder
+	telemetry.Default.WriteText(&buf)
+	if !strings.Contains(buf.String(), "spill_nonoptimal") {
+		t.Fatalf("metrics text output missing spill_nonoptimal:\n%s", buf.String())
 	}
 }

@@ -18,7 +18,9 @@ import (
 // key produce byte-identical responses, so the second is served from
 // cache. Callers must pass *resolved* options (Options.Resolved) so a
 // request spelling out the defaults and one leaving them zero share an
-// entry.
+// entry. RemapWorkers and SpillWorkers are deliberately not hashed:
+// both searches are deterministic at any worker count, so the worker
+// setting never changes the response.
 func CacheKey(f *ir.Func, opts diffra.Options, listing, explain bool) string {
 	h := sha256.New()
 	io.WriteString(h, f.String())

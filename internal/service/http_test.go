@@ -104,7 +104,7 @@ func TestHTTPStatusCodes(t *testing.T) {
 	}
 
 	hr, resp := postCompile(t, ts.URL, Request{
-		IR: slowIR(4, 10), Scheme: "ospill", RegN: 6, TimeoutMs: 1,
+		IR: slowIR(4, 12), Scheme: "ospill", RegN: 6, TimeoutMs: 1,
 	})
 	if hr.StatusCode != http.StatusGatewayTimeout || !resp.Timeout {
 		t.Fatalf("deadline: status %s, resp %+v, want 504/timeout", hr.Status, resp)
@@ -176,7 +176,7 @@ func TestHTTPGracefulShutdownDrains(t *testing.T) {
 	// slower and still has to drain within the budget.)
 	respc := make(chan Response, 1)
 	go func() {
-		_, resp := postCompileURL(base, Request{IR: slowIR(2, 10), Scheme: "ospill", RegN: 6})
+		_, resp := postCompileURL(base, Request{IR: slowIR(3, 12), Scheme: "ospill", RegN: 6})
 		respc <- resp
 	}()
 	time.Sleep(50 * time.Millisecond)

@@ -100,6 +100,12 @@ type Config struct {
 	// only helps when the server is otherwise idle. The remap result is
 	// bit-identical at any setting, so it is excluded from cache keys.
 	RemapWorkers int
+	// SpillWorkers bounds the parallelism of each compile's spill ILP
+	// solve (diffra.Options.SpillWorkers) for the ospill and coalesce
+	// schemes. 0 keeps it serial, like RemapWorkers, and for the same
+	// reason; the spill set is bit-identical at any setting, so it is
+	// excluded from cache keys.
+	SpillWorkers int
 	// Registry receives the service metrics (nil: telemetry.Default).
 	Registry *telemetry.Registry
 	// SelfCheck enables shadow oracling: every Nth successful compile
@@ -196,11 +202,16 @@ func (s *Server) compileCached(ctx context.Context, req Request) Response {
 	if err != nil {
 		return errResponse(err)
 	}
-	// After Resolved: RemapWorkers never alters the compile result, so
-	// it must not influence the resolved options a cache key hashes.
+	// After Resolved: RemapWorkers and SpillWorkers never alter the
+	// compile result, so they must not influence the resolved options a
+	// cache key hashes.
 	opts.RemapWorkers = s.cfg.RemapWorkers
 	if opts.RemapWorkers <= 0 {
 		opts.RemapWorkers = 1
+	}
+	opts.SpillWorkers = s.cfg.SpillWorkers
+	if opts.SpillWorkers <= 0 {
+		opts.SpillWorkers = 1
 	}
 	switch opts.Scheme {
 	case diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce:

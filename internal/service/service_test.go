@@ -11,32 +11,37 @@ import (
 	"diffra/internal/telemetry"
 )
 
-// slowIR builds a function whose optimal-spill ILP is expensive:
-// `blocks` disjoint clusters of `w` simultaneously-live ranges give
-// the branch-and-bound a loose per-constraint bound, so an uncancelled
-// solve at K=6 runs for on the order of a second (it hits the node
-// budget). The cancellation tests rely on interrupting it mid-solve.
+// slowIR builds a function whose optimal-spill ILP is expensive even
+// for the decomposing solver: `blocks` clusters of `w` ranges where
+// every value of cluster k+1 is computed from two values of cluster k,
+// so consecutive clusters' live ranges overlap at every program point.
+// The over-pressure constraints at K=6 form one connected component of
+// chain-overlapping windows (no decomposition, weak disjoint-sum
+// bound) with near-uniform costs, so an uncancelled solve runs for on
+// the order of a second. The cancellation tests rely on interrupting
+// it mid-solve.
 func slowIR(blocks, w int) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "func slow(v0) {\nentry:\n")
 	next := 1
-	fmt.Fprintf(&b, "  v%d = li 0\n", next)
-	acc := next
-	next++
-	for blk := 0; blk < blocks; blk++ {
-		vars := make([]int, w)
+	cur := make([]int, w)
+	for i := 0; i < w; i++ {
+		fmt.Fprintf(&b, "  v%d = li %d\n", next, i)
+		cur[i] = next
+		next++
+	}
+	for blk := 1; blk < blocks; blk++ {
+		nxt := make([]int, w)
 		for i := 0; i < w; i++ {
-			fmt.Fprintf(&b, "  v%d = li %d\n", next, blk*w+i)
-			vars[i] = next
+			fmt.Fprintf(&b, "  v%d = add v%d, v%d\n", next, cur[i], cur[(i+1)%w])
+			nxt[i] = next
 			next++
 		}
-		prev := vars[0]
-		for i := 1; i < w; i++ {
-			fmt.Fprintf(&b, "  v%d = add v%d, v%d\n", next, prev, vars[i])
-			prev = next
-			next++
-		}
-		fmt.Fprintf(&b, "  v%d = xor v%d, v%d\n", next, acc, prev)
+		cur = nxt
+	}
+	acc := cur[0]
+	for i := 1; i < w; i++ {
+		fmt.Fprintf(&b, "  v%d = xor v%d, v%d\n", next, acc, cur[i])
 		acc = next
 		next++
 	}
@@ -87,7 +92,7 @@ func TestDeadlineAbortsOspill(t *testing.T) {
 
 	started := time.Now()
 	resp := srv.Compile(context.Background(), Request{
-		IR: slowIR(4, 10), Scheme: "ospill", RegN: 6, TimeoutMs: 1,
+		IR: slowIR(4, 12), Scheme: "ospill", RegN: 6, TimeoutMs: 1,
 	})
 	elapsed := time.Since(started)
 
@@ -108,7 +113,7 @@ func TestDeadlineAbortsOspill(t *testing.T) {
 
 // TestCancelStopsInflightSolve cancels the request context while the
 // ILP is running; the compile must return well before the solve would
-// finish on its own (~1.5s+).
+// finish on its own (~4s uncancelled).
 func TestCancelStopsInflightSolve(t *testing.T) {
 	base := runtime.NumGoroutine()
 	srv := newTestServer(t, Config{})
@@ -119,7 +124,7 @@ func TestCancelStopsInflightSolve(t *testing.T) {
 		cancel()
 	}()
 	started := time.Now()
-	resp := srv.Compile(ctx, Request{IR: slowIR(6, 12), Scheme: "ospill", RegN: 6})
+	resp := srv.Compile(ctx, Request{IR: slowIR(4, 14), Scheme: "ospill", RegN: 6})
 	elapsed := time.Since(started)
 
 	if resp.Error == "" {

@@ -1,19 +1,26 @@
 // Command benchjson persists the compiler's performance trajectory:
 // it runs micro-benchmarks in-process (via testing.Benchmark, so the
 // numbers match `go test -bench`) and writes them to a JSON file with
-// enough host context to interpret them later. Two suites exist:
+// enough host context to interpret them later. Three suites exist:
 //
-//	go run ./cmd/benchjson -suite remap -o BENCH_remap.json
-//	go run ./cmd/benchjson -suite ilp   -o BENCH_ilp.json
+//	go run ./cmd/benchjson -suite remap    -o BENCH_remap.json
+//	go run ./cmd/benchjson -suite ilp      -o BENCH_ilp.json
+//	go run ./cmd/benchjson -suite pipeline -o BENCH_pipeline.json
 //
 // The remap suite covers the remap-search, encoding and allocator hot
 // paths; the ilp suite covers the exact-spilling branch-and-bound
 // (decomposed solver vs the retained legacy baseline, plus the
-// end-to-end ospill decision on a real kernel). The checked-in
-// BENCH_remap.json and BENCH_ilp.json at the repository root are the
-// baselines; compare the ns/op, evals/sec, nodes/sec and allocs/op
-// columns against the previous revision before accepting a change to
-// either hot path.
+// end-to-end ospill decision on a real kernel); the pipeline suite is
+// the end-to-end CompileFunc baseline over the §8 MiBench kernels,
+// measured twice — telemetry off (nil tracer, the compiled-out path)
+// and with the service's always-on capture attached — so the
+// instrumentation overhead is a number in the report, not a guess.
+// The checked-in BENCH_remap.json, BENCH_ilp.json and
+// BENCH_pipeline.json at the repository root are the baselines;
+// compare the ns/op, evals/sec, nodes/sec and allocs/op columns
+// against the previous revision before accepting a change to either
+// hot path. -benchtime forwards to the harness (e.g. 100x, 2s) when a
+// quick smoke run is enough.
 package main
 
 import (
@@ -22,8 +29,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 
+	"diffra"
 	"diffra/internal/adjacency"
 	"diffra/internal/diffenc"
 	"diffra/internal/ilp"
@@ -31,6 +40,7 @@ import (
 	"diffra/internal/irc"
 	"diffra/internal/ospill"
 	"diffra/internal/remap"
+	"diffra/internal/telemetry"
 	"diffra/internal/workloads"
 )
 
@@ -83,6 +93,23 @@ type report struct {
 	SpeedupLegacySerial     float64 `json:"speedup_legacy_serial,omitempty"`
 	OverlapNodesPerSecRatio float64 `json:"overlap_nodes_per_sec_ratio,omitempty"`
 	SpeedupILPWorkers8      float64 `json:"speedup_ilp_workers_8,omitempty"`
+
+	// StageShares is the per-stage share of total compile time,
+	// aggregated over one traced compile of every kernel: for each
+	// depth-1 stage span (allocate, remap, refine, verify, encode,
+	// check) the summed stage duration over the summed root duration.
+	// Shares need not sum to 1 — time between stages is the
+	// pipeline's own glue. (Pipeline suite only.)
+	StageShares map[string]float64 `json:"stage_shares,omitempty"`
+	// InstrumentationOverheadPct is the measured cost of the
+	// service's always-on capture: each kernel's plain and traced
+	// benchmarks run back-to-back and the reported number is the
+	// median of the per-kernel traced/plain ratios, minus one, in
+	// percent — pairing plus the median keeps clock drift and noisy
+	// neighbours on a shared box from swamping a sub-percent effect.
+	// The acceptance bound is 3%; negative values are measurement
+	// noise. (Pipeline suite only.)
+	InstrumentationOverheadPct float64 `json:"instrumentation_overhead_pct,omitempty"`
 }
 
 // remapWorkload rebuilds the BenchmarkRemapGreedy setup from the root
@@ -117,11 +144,19 @@ func run(name string, fn func(b *testing.B)) result {
 }
 
 func main() {
-	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp")
+	testing.Init()
+	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp|pipeline")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
+	benchtime := flag.String("benchtime", "", "per-benchmark run time or count (e.g. 2s, 100x; default 1s)")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
 	}
 
 	rep := report{
@@ -137,8 +172,10 @@ func main() {
 		runRemapSuite(&rep)
 	case "ilp":
 		runILPSuite(&rep)
+	case "pipeline":
+		runPipelineSuite(&rep)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap or ilp)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap, ilp or pipeline)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -289,5 +326,112 @@ func runILPSuite(rep *report) {
 	}
 	if serial, w8 := byName["ILPSolve/disjoint/workers=1"], byName["ILPSolve/disjoint/workers=8"]; w8.NsPerOp > 0 {
 		rep.SpeedupILPWorkers8 = serial.NsPerOp / w8.NsPerOp
+	}
+}
+
+// pipelineOpts is the pipeline suite's fixed configuration: the
+// paper's reference point (select scheme, 12 registers, 8 encodable
+// differences) at the same restart budget the remap suite uses, so
+// one compile stays in the hundreds of microseconds and ten kernels
+// fit in a default benchtime run.
+func pipelineOpts() diffra.Options {
+	return diffra.Options{Scheme: diffra.Select, RegN: 12, DiffN: 8, Restarts: 100}
+}
+
+// runPipelineSuite benchmarks end-to-end CompileFunc over every §8
+// kernel, twice per kernel: Pipeline/<k> with Telemetry nil (the
+// compiled-out path — a nil tracer costs nothing) and
+// PipelineTraced/<k> with the service's always-on capture attached (a
+// fresh CollectSink per compile plus the span→metrics bridge, exactly
+// what internal/service wires per request).
+//
+// The overhead being bounded is sub-percent on a quiet machine, so
+// the measurement has to defend itself against scheduler noise: every
+// pair runs back-to-back (so drift hits both sides), the whole
+// alternating sweep repeats pipelineRounds times, each benchmark's
+// reported row is its fastest round (noise on a shared box is
+// one-sided — it only ever slows a run down), and the headline
+// instrumentation_overhead_pct is the median of the per-kernel
+// traced/plain ratios over those minima. stage_shares come from one
+// traced compile per kernel.
+const pipelineRounds = 3
+
+func runPipelineSuite(rep *report) {
+	bridge := &telemetry.MetricsSink{Reg: telemetry.NewRegistry()}
+	kernels := workloads.Kernels()
+	best := map[string]result{}
+	keep := func(row result) {
+		if prev, ok := best[row.Name]; !ok || row.NsPerOp < prev.NsPerOp {
+			best[row.Name] = row
+		}
+	}
+	for round := 0; round < pipelineRounds; round++ {
+		for _, k := range kernels {
+			k := k
+			keep(run("Pipeline/"+k.Name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := diffra.CompileFunc(k.F.Clone(), pipelineOpts()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			keep(run("PipelineTraced/"+k.Name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					capture := &telemetry.CollectSink{}
+					opts := pipelineOpts()
+					opts.Telemetry = telemetry.New(telemetry.MultiSink{capture, bridge})
+					if _, err := diffra.CompileFunc(k.F.Clone(), opts); err != nil {
+						b.Fatal(err)
+					}
+					if capture.Last() == nil {
+						b.Fatal("capture lost the span tree")
+					}
+				}
+			}))
+		}
+	}
+
+	var ratios []float64
+	for _, k := range kernels {
+		plain, traced := best["Pipeline/"+k.Name], best["PipelineTraced/"+k.Name]
+		rep.Benchmarks = append(rep.Benchmarks, plain, traced)
+		if plain.NsPerOp > 0 {
+			ratios = append(ratios, traced.NsPerOp/plain.NsPerOp)
+		}
+	}
+	if len(ratios) > 0 {
+		sort.Float64s(ratios)
+		median := ratios[len(ratios)/2]
+		if len(ratios)%2 == 0 {
+			median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+		}
+		rep.InstrumentationOverheadPct = (median - 1) * 100
+		fmt.Fprintf(os.Stderr, "instrumentation overhead (median of paired min ratios): %+.2f%%\n",
+			rep.InstrumentationOverheadPct)
+	}
+
+	var rootDur float64
+	stages := map[string]float64{}
+	for _, k := range workloads.Kernels() {
+		capture := &telemetry.CollectSink{}
+		opts := pipelineOpts()
+		opts.Telemetry = telemetry.New(capture)
+		if _, err := diffra.CompileFunc(k.F.Clone(), opts); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		root := capture.Last()
+		rootDur += root.Dur.Seconds()
+		for _, c := range root.Children {
+			stages[telemetry.NormalizeStage(c.Name)] += c.Dur.Seconds()
+		}
+	}
+	if rootDur > 0 {
+		rep.StageShares = map[string]float64{}
+		for name, d := range stages {
+			rep.StageShares[name] = d / rootDur
+		}
 	}
 }

@@ -23,7 +23,9 @@
 //
 // Observability flags: -trace FILE writes the compile span tree as
 // JSON lines (one span per line; "-" for stdout), -metrics prints the
-// process-wide metrics registry on exit, -explain-slr attributes every
+// process-wide metrics registry on exit — including the per-stage
+// latency histograms (diffra_stage_us{stage,scheme}, with p50/p95/p99)
+// folded out of the compile's span tree — -explain-slr attributes every
 // set_last_reg repair to its cause (out-of-range difference or
 // control-flow join), and -cpuprofile/-memprofile write pprof
 // profiles.
@@ -108,7 +110,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	var tracer *telemetry.Tracer
+	// -trace and -metrics share one tracer: the JSON sink writes the
+	// span tree, the span→metrics bridge folds it into per-stage
+	// histograms so -metrics shows the same breakdown without a trace
+	// file configured.
+	var sinks telemetry.MultiSink
 	if *traceFile != "" {
 		var w io.Writer = os.Stdout
 		if *traceFile != "-" {
@@ -119,7 +125,14 @@ func main() {
 			defer tf.Close()
 			w = tf
 		}
-		tracer = telemetry.New(&telemetry.JSONSink{W: w})
+		sinks = append(sinks, &telemetry.JSONSink{W: w})
+	}
+	if *metrics {
+		sinks = append(sinks, &telemetry.MetricsSink{Reg: telemetry.Default})
+	}
+	var tracer *telemetry.Tracer
+	if len(sinks) > 0 {
+		tracer = telemetry.New(sinks)
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))

@@ -6,23 +6,36 @@
 //
 // Endpoints:
 //
-//	POST /compile   {"ir": "...", "scheme": "coalesce", "timeout_ms": 500}
-//	POST /batch     NDJSON stream of requests, responses stream back in order
-//	GET  /metrics   JSON snapshot of the telemetry registry
-//	GET  /healthz   liveness probe
+//	POST /compile            {"ir": "...", "scheme": "coalesce", "timeout_ms": 500}
+//	POST /batch              NDJSON stream of requests, responses stream back in order
+//	GET  /metrics            telemetry registry: JSON by default, Prometheus
+//	                         text exposition under Accept: text/plain (or
+//	                         ?format=prometheus) with p50/p95/p99 per histogram
+//	GET  /healthz            liveness probe: 200 "ok", 503 "draining" during shutdown
+//	GET  /debug/traces       always-on request trace capture (recent + slowest +
+//	                         errored), span trees under /debug/traces/{id}
+//
+// With -debug-addr a second listener serves the debug plane —
+// net/http/pprof under /debug/pprof/, plus the trace and metrics
+// endpoints — keeping profiling off the compile port. -access-log
+// writes one NDJSON record per request (id, cache hit, queue wait,
+// stage timings).
 //
 // Per-request deadlines (timeout_ms, capped by -timeout as the
 // default) propagate into the compiler's long-running searches, so a
 // client that gives up stops burning a worker slot. SIGINT/SIGTERM
-// trigger a graceful shutdown: the listener closes, in-flight requests
-// drain, then the process exits.
+// trigger a graceful shutdown: /healthz flips to 503 so load balancers
+// stop routing, the listener closes, in-flight requests drain, then
+// the process exits.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,7 +54,25 @@ func main() {
 	selfCheck := flag.Int("selfcheck", 0, "shadow-oracle every Nth successful compile against the reference interpreter (0 = off; see service_selfcheck_* metrics)")
 	remapWorkers := flag.Int("remap-workers", 0, "parallel remap-search workers per compile (0 = serial; the pool already compiles one request per core)")
 	spillWorkers := flag.Int("spill-workers", 0, "parallel spill-ILP workers per compile (0 = serial; bit-identical result at any count)")
+	traceBuffer := flag.Int("trace-buffer", 0, "request traces retained for /debug/traces (0 = 256; negative disables capture)")
+	debugAddr := flag.String("debug-addr", "", "opt-in debug listener serving /debug/pprof/, /debug/traces and /metrics (empty = disabled)")
+	accessLog := flag.String("access-log", "", "write one NDJSON access record per request to FILE (\"-\" for stdout)")
 	flag.Parse()
+
+	var access io.Writer
+	if *accessLog != "" {
+		if *accessLog == "-" {
+			access = os.Stdout
+		} else {
+			af, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diffrad:", err)
+				os.Exit(1)
+			}
+			defer af.Close()
+			access = af
+		}
+	}
 
 	srv := service.NewHTTP(service.Config{
 		Workers:         *workers,
@@ -51,6 +82,8 @@ func main() {
 		SelfCheck:       *selfCheck,
 		RemapWorkers:    *remapWorkers,
 		SpillWorkers:    *spillWorkers,
+		TraceBuffer:     *traceBuffer,
+		AccessLog:       access,
 	})
 
 	l, err := net.Listen("tcp", *addr)
@@ -59,6 +92,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "diffrad: listening on %s (%d workers)\n", l.Addr(), srv.Pool().Workers())
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diffrad:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "diffrad: debug listener on %s (/debug/pprof/, /debug/traces, /metrics)\n", dl.Addr())
+		go func() {
+			if err := http.Serve(dl, srv.DebugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "diffrad: debug listener:", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -29,7 +29,10 @@ func Compute(f *ir.Func) *Info {
 
 // ComputeTraced is Compute under a telemetry span: it records the
 // dataflow iteration count and the resulting live-set sizes on span.
-// A nil span costs nothing.
+// A nil span costs nothing, and the recorded stats are all O(blocks)
+// reads of state the fixpoint already built — capture is always on in
+// the service, so this path must never do instruction-granular work
+// (MaxPressure stays available for offline diagnosis).
 func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 	n := len(f.Blocks)
 	info := &Info{
@@ -89,12 +92,21 @@ func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 	if span != nil {
 		span.Add("iterations", int64(iters))
 		span.Add("blocks", int64(n))
-		liveSum := 0
+		liveSum, maxLive := 0, 0
 		for i := range f.Blocks {
-			liveSum += info.LiveOut[i].Len()
+			in, out := info.LiveIn[i].Len(), info.LiveOut[i].Len()
+			liveSum += out
+			if in > maxLive {
+				maxLive = in
+			}
+			if out > maxLive {
+				maxLive = out
+			}
 		}
 		span.Add("live_out_total", int64(liveSum))
-		span.SetAttr("max_pressure", info.MaxPressure())
+		// Block-boundary live maximum: a lower bound on MaxPressure
+		// that costs O(blocks) instead of a full instruction sweep.
+		span.SetAttr("max_block_live", maxLive)
 	}
 	return info
 }

@@ -8,16 +8,32 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
+	"time"
+
+	"diffra/internal/telemetry"
 )
 
 // Handler returns the service's HTTP front end:
 //
-//	POST /compile   one Request as JSON -> one Response as JSON
-//	POST /batch     NDJSON stream of Requests -> NDJSON stream of
-//	                Responses in input order, flushed as they finish
-//	GET  /metrics   JSON snapshot of the metrics registry
-//	GET  /healthz   200 "ok"
+//	POST /compile            one Request as JSON -> one Response as JSON
+//	POST /batch              NDJSON stream of Requests -> NDJSON stream
+//	                         of Responses in input order, flushed as
+//	                         they finish
+//	GET  /metrics            metrics registry snapshot: JSON by
+//	                         default, Prometheus text exposition when
+//	                         the Accept header asks for text/plain or
+//	                         openmetrics (or ?format=prometheus)
+//	GET  /healthz            200 "ok", 503 "draining" once shutdown
+//	                         has begun
+//	GET  /debug/traces       retained request traces, newest first
+//	                         (always-on capture: recent + slowest +
+//	                         errored/diverged)
+//	GET  /debug/traces/{id}  one trace with its full span tree
 //
 // Request bodies are capped at Config.MaxRequestBytes.
 func (s *Server) Handler() http.Handler {
@@ -25,11 +41,20 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /compile", s.handleCompile)
 	mux.HandleFunc("POST /batch", s.handleBatch)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
 	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ok\n")
 }
 
 // statusOf maps a failed Response to an HTTP status: 504 for
@@ -107,11 +132,107 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	<-writerDone
 }
 
+// handleMetrics refreshes the process gauges, then serves the
+// registry: JSON (the PR 2 format, still the default) or the
+// Prometheus text exposition, negotiated on the Accept header or
+// forced with ?format=prometheus|json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.refreshRuntimeGauges()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
+		s.reg.WritePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.reg.Snapshot())
+}
+
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// refreshRuntimeGauges updates the liveness-context gauges on every
+// scrape, so dashboards get uptime, goroutine and heap trends for
+// free without a background ticker.
+func (s *Server) refreshRuntimeGauges() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.Gauge("service_uptime_s").Set(int64(time.Since(s.started).Seconds()))
+	s.reg.Gauge("service_goroutines").Set(int64(runtime.NumGoroutine()))
+	s.reg.Gauge("service_heap_inuse_bytes").Set(int64(ms.HeapInuse))
+	s.reg.Gauge("service_gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+}
+
+// traceIndexEntry is the /debug/traces summary row: everything in the
+// record except the span tree.
+type traceIndexEntry struct {
+	*TraceRecord
+	Spans int `json:"spans,omitempty"`
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	recs := s.Traces()
+	out := struct {
+		Traces []traceIndexEntry `json:"traces"`
+	}{Traces: make([]traceIndexEntry, 0, len(recs))}
+	for _, rec := range recs {
+		n := 0
+		rec.Root().Walk(func(*telemetry.Span, int) { n++ })
+		out.Traces = append(out.Traces, traceIndexEntry{TraceRecord: rec, Spans: n})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad trace id", http.StatusBadRequest)
+		return
+	}
+	rec := s.Trace(id)
+	if rec == nil {
+		http.Error(w, "trace not retained", http.StatusNotFound)
+		return
+	}
+	out := struct {
+		*TraceRecord
+		Root *telemetry.SpanJSON `json:"root,omitempty"`
+	}{TraceRecord: rec, Root: telemetry.TreeJSON(rec.Root(), rec.Start)}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// DebugHandler is the opt-in debug surface cmd/diffrad binds to a
+// separate listener: the pprof suite under /debug/pprof/, the trace
+// endpoints, and the metrics registry. Keeping it off the service
+// listener means profiling endpoints are never reachable from the
+// compile port.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
 }
 
 // HTTPServer wraps Server with a net/http server and graceful
@@ -147,7 +268,11 @@ func (h *HTTPServer) ListenAndServe(addr string) error {
 	return h.Serve(l)
 }
 
-// Shutdown drains in-flight requests; ctx bounds the wait.
+// Shutdown drains in-flight requests; ctx bounds the wait. The server
+// flips to draining first, so /healthz answers 503 ("draining") for
+// the whole drain window and load balancers stop routing new work
+// here while in-flight compiles finish.
 func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	h.SetDraining(true)
 	return h.hs.Shutdown(ctx)
 }

@@ -14,8 +14,11 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -117,6 +120,26 @@ type Config struct {
 	// the response is not altered. 0 disables, 1 checks every compile,
 	// N samples one in N.
 	SelfCheck int
+	// TraceBuffer bounds the always-on request trace capture: every
+	// compile runs under a span tracer, the finished tree is folded
+	// into per-stage latency histograms (diffra_stage_us{stage,scheme})
+	// and solver counters, and the request's TraceRecord is retained in
+	// a ring served by GET /debug/traces. 0 keeps the last 256
+	// requests; negative disables capture entirely (no per-request
+	// tracer, no stage metrics, no trace endpoints data) — the escape
+	// hatch the instrumentation-overhead benchmark compares against.
+	TraceBuffer int
+	// TraceSlowKeep bounds the slowest-ever retention class of the
+	// trace buffer (0: 32). The slowest N requests are kept even after
+	// they age out of the recent ring.
+	TraceSlowKeep int
+	// TraceErrKeep bounds the retained errored/timed-out/diverged
+	// requests (0: 64); like the slowest, they outlive the recent ring.
+	TraceErrKeep int
+	// AccessLog, when non-nil, receives one NDJSON record per request:
+	// request id, function, scheme, cache hit, queue wait, total time,
+	// per-stage timings and the outcome. Writes are serialized.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +155,15 @@ func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = telemetry.Default
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
+	}
+	if c.TraceSlowKeep == 0 {
+		c.TraceSlowKeep = 32
+	}
+	if c.TraceErrKeep == 0 {
+		c.TraceErrKeep = 64
+	}
 	return c
 }
 
@@ -145,17 +177,67 @@ type Server struct {
 	reg       *telemetry.Registry
 	inflight  atomic.Int64
 	checkTick atomic.Int64
+
+	started  time.Time
+	draining atomic.Bool
+	traces   *traceBuffer // nil: capture disabled
+	bridge   *telemetry.MetricsSink
+
+	accessMu  sync.Mutex
+	accessEnc *json.Encoder
 }
 
 // New builds a Server.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
-		cfg:   cfg,
-		pool:  NewPool(cfg.Workers),
-		cache: newResultCache(cfg.CacheEntries),
-		reg:   cfg.Registry,
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers),
+		cache:   newResultCache(cfg.CacheEntries),
+		reg:     cfg.Registry,
+		started: time.Now(),
 	}
+	if cfg.TraceBuffer > 0 {
+		s.traces = newTraceBuffer(cfg.TraceBuffer, cfg.TraceSlowKeep, cfg.TraceErrKeep)
+		s.bridge = &telemetry.MetricsSink{Reg: s.reg}
+	}
+	if cfg.AccessLog != nil {
+		s.accessEnc = json.NewEncoder(cfg.AccessLog)
+	}
+	s.reg.Gauge("service_start_time_unix").Set(s.started.Unix())
+	return s
+}
+
+// SetDraining flips the server's lifecycle state; once draining the
+// health endpoint answers 503 so load balancers stop routing here
+// while in-flight requests finish. HTTPServer.Shutdown sets it.
+func (s *Server) SetDraining(v bool) {
+	s.draining.Store(v)
+	g := int64(0)
+	if v {
+		g = 1
+	}
+	s.reg.Gauge("service_draining").Set(g)
+}
+
+// Draining reports whether shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Traces returns every retained request trace, newest first (nil when
+// capture is disabled).
+func (s *Server) Traces() []*TraceRecord {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.snapshot()
+}
+
+// Trace returns one retained request trace by id, or nil.
+func (s *Server) Trace(id int64) *TraceRecord {
+	if s.traces == nil {
+		return nil
+	}
+	return s.traces.get(id)
 }
 
 // Pool exposes the server's worker pool so other subsystems (the
@@ -176,9 +258,21 @@ func errResponse(err error) Response {
 // Compile serves one request: validate, consult the cache, then
 // compile on a pool slot under the request deadline. It never panics
 // on malformed input — every failure is a Response with Error set.
+// Every request leaves a TraceRecord in the capture ring and one
+// access-log line (when configured), whatever its outcome.
 func (s *Server) Compile(ctx context.Context, req Request) Response {
 	s.reg.Counter("service_requests").Inc()
-	resp := s.compileCached(ctx, req)
+	rec := &TraceRecord{Start: time.Now(), Scheme: req.Scheme, RegN: req.RegN, DiffN: req.DiffN}
+	resp := s.compileCached(ctx, req, rec)
+	rec.DurUS = time.Since(rec.Start).Microseconds()
+	if resp.Func != "" {
+		rec.Func = resp.Func
+	}
+	if resp.Scheme != "" {
+		rec.Scheme, rec.RegN, rec.DiffN = resp.Scheme, resp.RegN, resp.DiffN
+	}
+	rec.Cached = resp.Cached
+	rec.Error, rec.Timeout = resp.Error, resp.Timeout
 	if resp.Error != "" {
 		if resp.Timeout {
 			s.reg.Counter("service_timeouts").Inc()
@@ -186,10 +280,58 @@ func (s *Server) Compile(ctx context.Context, req Request) Response {
 			s.reg.Counter("service_errors").Inc()
 		}
 	}
+	if s.traces != nil {
+		s.traces.add(rec)
+	}
+	s.logAccess(rec)
 	return resp
 }
 
-func (s *Server) compileCached(ctx context.Context, req Request) Response {
+// logAccess appends the request's NDJSON access record, including the
+// top-level stage timings from the captured span tree when present.
+func (s *Server) logAccess(rec *TraceRecord) {
+	if s.accessEnc == nil {
+		return
+	}
+	type accessRecord struct {
+		TS      string           `json:"ts"`
+		ID      int64            `json:"id,omitempty"`
+		Func    string           `json:"func,omitempty"`
+		Scheme  string           `json:"scheme,omitempty"`
+		RegN    int              `json:"regn,omitempty"`
+		DiffN   int              `json:"diffn,omitempty"`
+		Cached  bool             `json:"cached"`
+		QueueUS int64            `json:"queue_us"`
+		DurUS   int64            `json:"dur_us"`
+		Stages  map[string]int64 `json:"stages_us,omitempty"`
+		Error   string           `json:"error,omitempty"`
+		Timeout bool             `json:"timeout,omitempty"`
+	}
+	ar := accessRecord{
+		TS:      rec.Start.UTC().Format(time.RFC3339Nano),
+		ID:      rec.ID,
+		Func:    rec.Func,
+		Scheme:  rec.Scheme,
+		RegN:    rec.RegN,
+		DiffN:   rec.DiffN,
+		Cached:  rec.Cached,
+		QueueUS: rec.QueueUS,
+		DurUS:   rec.DurUS,
+		Error:   rec.Error,
+		Timeout: rec.Timeout,
+	}
+	if rec.root != nil {
+		ar.Stages = make(map[string]int64, len(rec.root.Children))
+		for _, c := range rec.root.Children {
+			ar.Stages[telemetry.NormalizeStage(c.Name)] += c.Dur.Microseconds()
+		}
+	}
+	s.accessMu.Lock()
+	s.accessEnc.Encode(ar)
+	s.accessMu.Unlock()
+}
+
+func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecord) Response {
 	if int64(len(req.IR)) > s.cfg.MaxRequestBytes {
 		return errResponse(fmt.Errorf("service: ir source %d bytes exceeds limit %d", len(req.IR), s.cfg.MaxRequestBytes))
 	}
@@ -243,11 +385,14 @@ func (s *Server) compileCached(ctx context.Context, req Request) Response {
 	defer func() { s.reg.Gauge("service_inflight").Set(s.inflight.Add(-1)) }()
 	started := time.Now()
 	err = s.pool.Do(ctx, func() {
-		resp = s.compile(ctx, f, opts, req)
+		rec.QueueUS = time.Since(started).Microseconds()
+		s.reg.Histogram("service_queue_wait_us").Observe(rec.QueueUS)
+		resp = s.compile(ctx, f, opts, req, rec)
 	})
 	s.reg.Histogram("service_compile_us").Observe(time.Since(started).Microseconds())
 	if err != nil {
 		// The deadline fired while the request was still queued.
+		rec.QueueUS = time.Since(started).Microseconds()
 		return errResponse(fmt.Errorf("service: queued past deadline: %w", err))
 	}
 	if resp.Error == "" {
@@ -257,13 +402,24 @@ func (s *Server) compileCached(ctx context.Context, req Request) Response {
 	return resp
 }
 
-// compile runs the facade under ctx and renders the response.
-func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, req Request) Response {
+// compile runs the facade under ctx and renders the response. When
+// capture is on, the compile runs under a per-request tracer whose
+// finished tree both lands on the request's TraceRecord and folds into
+// the registry's per-stage metrics through the span→metrics bridge —
+// the same breakdown tracing would show, with tracing never configured.
+func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, req Request, rec *TraceRecord) Response {
+	if s.traces != nil {
+		capture := &telemetry.CollectSink{}
+		opts.Telemetry = telemetry.New(telemetry.MultiSink{capture, s.bridge})
+		defer func() { rec.root = capture.Last() }()
+	}
 	res, err := diffra.CompileFuncContext(ctx, f, opts)
 	if err != nil {
 		return errResponse(err)
 	}
-	s.selfCheck(f, res)
+	if s.selfCheck(f, res) {
+		rec.Diverged = true
+	}
 	regW, diffW := diffra.FieldWidths(opts.RegN, opts.DiffN)
 	resp := Response{
 		Func:           res.F.Name,
@@ -296,16 +452,20 @@ func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, r
 // selfCheck shadow-oracles a sampled fraction of successful compiles:
 // the compiled program must reproduce the source's reference trace on
 // a deterministic input. A divergence here is a compiler bug caught in
-// production; it increments service_selfcheck_divergences and records
-// nothing in the response — self-check observes, it does not gate.
-func (s *Server) selfCheck(src *ir.Func, res *diffra.Result) {
+// production; it increments service_selfcheck_divergences and flags
+// the request's TraceRecord (divergent traces are always retained) but
+// records nothing in the response — self-check observes, it does not
+// gate.
+func (s *Server) selfCheck(src *ir.Func, res *diffra.Result) (diverged bool) {
 	if s.cfg.SelfCheck <= 0 || s.checkTick.Add(1)%int64(s.cfg.SelfCheck) != 0 {
-		return
+		return false
 	}
 	s.reg.Counter("service_selfcheck_runs").Inc()
 	if err := difftest.CheckCompiled(src, res, difftest.DefaultSpec(src)); err != nil {
 		s.reg.Counter("service_selfcheck_divergences").Inc()
+		return true
 	}
+	return false
 }
 
 // ServeBatch compiles every request through the pool and returns the

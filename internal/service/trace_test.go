@@ -1,0 +1,160 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func mkRec(dur int64, errs string) *TraceRecord {
+	return &TraceRecord{Start: time.Unix(0, 0), DurUS: dur, Error: errs}
+}
+
+func retainedIDs(b *traceBuffer) map[int64]bool {
+	out := map[int64]bool{}
+	for _, r := range b.snapshot() {
+		out[r.ID] = true
+	}
+	return out
+}
+
+func TestTraceBufferRecentRing(t *testing.T) {
+	b := newTraceBuffer(4, 0, 0)
+	for i := 0; i < 10; i++ {
+		b.add(mkRec(int64(i), ""))
+	}
+	got := retainedIDs(b)
+	for id := int64(7); id <= 10; id++ {
+		if !got[id] {
+			t.Fatalf("recent ring lost id %d (have %v)", id, got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("retained %d records, want 4", len(got))
+	}
+	// Snapshot is newest first.
+	recs := b.snapshot()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ID > recs[i-1].ID {
+			t.Fatal("snapshot not sorted newest first")
+		}
+	}
+}
+
+// TestTraceBufferBiasedRetention is the retention property test: over
+// a random workload, (a) the slowest S requests ever seen are all
+// retained, (b) the last E interesting (errored) requests are all
+// retained, (c) the last R requests are all retained — no matter how
+// the three classes overlap.
+func TestTraceBufferBiasedRetention(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const R, S, E, N = 8, 5, 6, 500
+	for trial := 0; trial < 20; trial++ {
+		b := newTraceBuffer(R, S, E)
+		type seen struct {
+			id  int64
+			dur int64
+			err bool
+		}
+		var all []seen
+		for i := 0; i < N; i++ {
+			dur := rng.Int63n(1_000_000)
+			errs := ""
+			if rng.Intn(10) == 0 {
+				errs = "boom"
+			}
+			rec := mkRec(dur, errs)
+			// Sprinkle timeouts and divergences among the interesting.
+			if errs == "" && rng.Intn(50) == 0 {
+				rec.Diverged = true
+			}
+			id := b.add(rec)
+			all = append(all, seen{id, dur, rec.interesting()})
+		}
+		got := retainedIDs(b)
+
+		// (a) slowest S of everything seen.
+		bySlow := append([]seen(nil), all...)
+		sort.Slice(bySlow, func(i, j int) bool {
+			if bySlow[i].dur != bySlow[j].dur {
+				return bySlow[i].dur > bySlow[j].dur
+			}
+			return bySlow[i].id < bySlow[j].id
+		})
+		// Ties at the heap boundary make exact membership ambiguous;
+		// durations are random enough that we only check strictly
+		// slower-than-boundary records.
+		boundary := bySlow[S-1].dur
+		for _, s := range bySlow {
+			if s.dur > boundary && !got[s.id] {
+				t.Fatalf("trial %d: slowest record id=%d dur=%d evicted", trial, s.id, s.dur)
+			}
+		}
+
+		// (b) last E interesting.
+		interesting := 0
+		for i := len(all) - 1; i >= 0 && interesting < E; i-- {
+			if all[i].err {
+				interesting++
+				if !got[all[i].id] {
+					t.Fatalf("trial %d: interesting record id=%d evicted", trial, all[i].id)
+				}
+			}
+		}
+
+		// (c) last R of everything.
+		for _, s := range all[len(all)-R:] {
+			if !got[s.id] {
+				t.Fatalf("trial %d: recent record id=%d evicted", trial, s.id)
+			}
+		}
+
+		// get() finds every retained record and nothing else.
+		for id := range got {
+			if b.get(id) == nil {
+				t.Fatalf("trial %d: get(%d) lost a retained record", trial, id)
+			}
+		}
+		if b.get(int64(N+1000)) != nil {
+			t.Fatalf("trial %d: get invented a record", trial)
+		}
+	}
+}
+
+func TestTraceBufferDisabledClasses(t *testing.T) {
+	// Zero-capacity classes must not panic or retain.
+	b := newTraceBuffer(0, 0, 0)
+	b.add(mkRec(5, "x"))
+	if n := len(b.snapshot()); n != 0 {
+		t.Fatalf("zero-capacity buffer retained %d records", n)
+	}
+}
+
+func TestTraceBufferConcurrent(t *testing.T) {
+	b := newTraceBuffer(16, 4, 4)
+	done := make(chan bool)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				err := ""
+				if i%7 == 0 {
+					err = fmt.Sprintf("e%d", i)
+				}
+				b.add(mkRec(int64(g*1000+i), err))
+				if i%17 == 0 {
+					b.snapshot()
+					b.get(int64(i))
+				}
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if len(b.snapshot()) == 0 {
+		t.Fatal("nothing retained after concurrent load")
+	}
+}

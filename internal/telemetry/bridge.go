@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// MetricsSink folds every finished span tree into a Registry, so the
+// per-stage breakdown tracing computes is available as standing
+// process metrics without keeping (or even emitting) the trees
+// themselves. It is the bridge the service and cmd/diffra -metrics
+// stand on: always-on span capture feeds it once per compile.
+//
+// Folding rules, chosen to keep metric cardinality bounded:
+//
+//   - Span durations land in diffra_stage_us{stage,scheme} histograms
+//     for the root and the first two levels below it (compile,
+//     allocate/remap/refine/verify/encode/check, and the allocator's
+//     ilp/color/coalesce sub-phases). scheme comes from the root span's
+//     attr; per-round spans normalize to one "round" stage.
+//   - Span counters accumulate into diffra_span_<stage>_<counter>
+//     registry counters at every depth (e.g. diffra_span_ilp_nodes,
+//     diffra_span_remap_restarts, diffra_span_encode_sets), again with
+//     round-N normalized to round. Rates (ilp nodes/sec, restarts/sec)
+//     follow from these counters plus the stage duration histograms.
+type MetricsSink struct {
+	Reg *Registry
+
+	// Instrument cache: rendering a labeled name (sort + quote +
+	// concatenate) and taking the registry lock on every span of
+	// every compile is the bulk of the bridge's cost, and the set of
+	// (stage, scheme) pairs is tiny and fixed. Misses render once;
+	// hits are a local map read.
+	mu    sync.Mutex
+	hists map[[2]string]*Histogram
+	ctrs  map[[2]string]*Counter
+}
+
+// Emit folds one span tree. Nil-safe on the sink's registry.
+func (m *MetricsSink) Emit(root *Span) {
+	if m == nil || m.Reg == nil {
+		return
+	}
+	scheme, _ := root.Attr("scheme").(string)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	root.Walk(func(sp *Span, depth int) {
+		stage := NormalizeStage(sp.Name)
+		if depth <= 2 {
+			m.stageHist(stage, scheme).Observe(sp.Dur.Microseconds())
+		}
+		for _, c := range sp.Counters {
+			m.spanCounter(stage, c.Name).Add(int64(c.Value))
+		}
+	})
+}
+
+// stageHist resolves the diffra_stage_us{stage,scheme} histogram,
+// caching the instrument so steady-state emits skip name rendering.
+// Caller holds m.mu.
+func (m *MetricsSink) stageHist(stage, scheme string) *Histogram {
+	key := [2]string{stage, scheme}
+	if h, ok := m.hists[key]; ok {
+		return h
+	}
+	if m.hists == nil {
+		m.hists = make(map[[2]string]*Histogram)
+	}
+	h := m.Reg.HistogramL("diffra_stage_us", "stage", stage, "scheme", scheme)
+	m.hists[key] = h
+	return h
+}
+
+// spanCounter resolves the diffra_span_<stage>_<name> counter through
+// the same cache. Caller holds m.mu.
+func (m *MetricsSink) spanCounter(stage, name string) *Counter {
+	key := [2]string{stage, name}
+	if c, ok := m.ctrs[key]; ok {
+		return c
+	}
+	if m.ctrs == nil {
+		m.ctrs = make(map[[2]string]*Counter)
+	}
+	c := m.Reg.Counter("diffra_span_" + stage + "_" + name)
+	m.ctrs[key] = c
+	return c
+}
+
+// NormalizeStage maps a span name to its metric stage: per-iteration
+// spans named like round-3 collapse to their base (round), everything
+// else passes through, so stage cardinality stays fixed no matter how
+// many rounds a compilation runs.
+func NormalizeStage(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	for _, r := range name[i+1:] {
+		if r < '0' || r > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
+}
+
+// SpanJSON is the JSON shape of one span in a rendered trace tree:
+// start offset and duration in microseconds, attributes, counters and
+// children, nested the way the phases ran.
+type SpanJSON struct {
+	Name     string             `json:"name"`
+	StartUS  int64              `json:"start_us"`
+	DurUS    int64              `json:"dur_us"`
+	Attrs    map[string]any     `json:"attrs,omitempty"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+	Children []*SpanJSON        `json:"children,omitempty"`
+}
+
+// TreeJSON converts a finished span tree to its nested JSON shape,
+// with start offsets relative to base (zero base: relative to the
+// root's own start). Returns nil for a nil root.
+func TreeJSON(root *Span, base time.Time) *SpanJSON {
+	if root == nil {
+		return nil
+	}
+	if base.IsZero() {
+		base = root.Start
+	}
+	out := &SpanJSON{
+		Name:    root.Name,
+		StartUS: root.Start.Sub(base).Microseconds(),
+		DurUS:   root.Dur.Microseconds(),
+	}
+	if len(root.Attrs) > 0 {
+		out.Attrs = make(map[string]any, len(root.Attrs))
+		for _, a := range root.Attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	if len(root.Counters) > 0 {
+		out.Counters = make(map[string]float64, len(root.Counters))
+		for _, c := range root.Counters {
+			out.Counters[c.Name] = c.Value
+		}
+	}
+	for _, c := range root.Children {
+		out.Children = append(out.Children, TreeJSON(c, base))
+	}
+	return out
+}

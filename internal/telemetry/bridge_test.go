@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func buildTrace(reg *Registry) *Span {
+	var captured *Span
+	tr := NewWithClock(sinkFunc(func(root *Span) {
+		(&MetricsSink{Reg: reg}).Emit(root)
+		captured = root
+	}), fakeClock(time.Millisecond))
+	root := tr.Start("compile")
+	root.SetAttr("scheme", "ospill")
+	alloc := root.Child("allocate")
+	ilp := alloc.Child("ilp")
+	ilp.Add("nodes", 1234)
+	ilp.Add("constraints", 7)
+	ilp.End()
+	r0 := alloc.Child("round-0")
+	r0.Add("simplified", 3)
+	r0.End()
+	r1 := alloc.Child("round-1")
+	r1.Add("simplified", 2)
+	r1.End()
+	alloc.End()
+	remap := root.Child("remap")
+	remap.Add("restarts", 100)
+	remap.End()
+	root.End()
+	return captured
+}
+
+type sinkFunc func(*Span)
+
+func (f sinkFunc) Emit(root *Span) { f(root) }
+
+func TestMetricsSinkFoldsSpans(t *testing.T) {
+	reg := NewRegistry()
+	buildTrace(reg)
+
+	s := reg.Snapshot()
+	for _, stage := range []string{"compile", "allocate", "remap", "ilp", "round"} {
+		name := LabeledName("diffra_stage_us", "stage", stage, "scheme", "ospill")
+		h, ok := s.Histograms[name]
+		if !ok || h.Count == 0 {
+			t.Fatalf("missing stage histogram %s (have %v)", name, s.Histograms)
+		}
+	}
+	// round-0 and round-1 share one normalized stage with two samples.
+	round := s.Histograms[LabeledName("diffra_stage_us", "stage", "round", "scheme", "ospill")]
+	if round.Count != 2 {
+		t.Fatalf("round stage count %d, want 2", round.Count)
+	}
+	if got := s.Counters["diffra_span_ilp_nodes"]; got != 1234 {
+		t.Fatalf("diffra_span_ilp_nodes = %d, want 1234", got)
+	}
+	if got := s.Counters["diffra_span_remap_restarts"]; got != 100 {
+		t.Fatalf("diffra_span_remap_restarts = %d, want 100", got)
+	}
+	if got := s.Counters["diffra_span_round_simplified"]; got != 5 {
+		t.Fatalf("diffra_span_round_simplified = %d, want 5 (both rounds)", got)
+	}
+}
+
+func TestNormalizeStage(t *testing.T) {
+	for in, want := range map[string]string{
+		"round-0":   "round",
+		"round-12":  "round",
+		"compile":   "compile",
+		"set-last":  "set-last",
+		"trailing-": "trailing-",
+		"-3":        "-3",
+	} {
+		if got := NormalizeStage(in); got != want {
+			t.Fatalf("NormalizeStage(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTreeJSON(t *testing.T) {
+	root := buildTrace(NewRegistry())
+	j := TreeJSON(root, time.Time{})
+	if j == nil || j.Name != "compile" {
+		t.Fatalf("tree %+v", j)
+	}
+	if j.Attrs["scheme"] != "ospill" {
+		t.Fatalf("root attrs %v", j.Attrs)
+	}
+	if len(j.Children) != 2 || j.Children[0].Name != "allocate" || j.Children[1].Name != "remap" {
+		t.Fatalf("children %+v", j.Children)
+	}
+	ilp := j.Children[0].Children[0]
+	if ilp.Name != "ilp" || ilp.Counters["nodes"] != 1234 {
+		t.Fatalf("ilp child %+v", ilp)
+	}
+	if j.StartUS != 0 || j.DurUS <= 0 {
+		t.Fatalf("root timing start=%d dur=%d", j.StartUS, j.DurUS)
+	}
+	if ilp.StartUS <= 0 {
+		t.Fatalf("ilp start offset %d, want > 0 relative to root", ilp.StartUS)
+	}
+	if TreeJSON(nil, time.Time{}) != nil {
+		t.Fatal("nil root must yield nil tree")
+	}
+}

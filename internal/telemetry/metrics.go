@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -92,12 +93,31 @@ func bucketOf(v int64) int {
 	return b
 }
 
-// HistogramSnapshot is a point-in-time view of a histogram.
+// BucketCount is one populated histogram bucket: Count observations
+// with value <= Le (and greater than the previous bucket's Le). The
+// bounds are the power-of-two bucket uppers, so a snapshot carries only
+// the buckets that actually received samples.
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time view of a histogram. Count, Sum,
+// Min and Max predate the bucket export and stay stable for existing
+// consumers; Buckets and the estimated quantiles are additive.
 type HistogramSnapshot struct {
 	Count int64 `json:"count"`
 	Sum   int64 `json:"sum"`
 	Min   int64 `json:"min"`
 	Max   int64 `json:"max"`
+	// Buckets lists the populated power-of-two buckets in increasing
+	// bound order (non-cumulative counts).
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	// P50/P95/P99 are quantile estimates interpolated inside the
+	// power-of-two buckets, clamped to [Min, Max]. 0 when empty.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Mean returns the average observation, or NaN when empty.
@@ -108,11 +128,79 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// bucketBounds returns the value range a bucket index covers:
+// bucket 0 is (-inf, 0], bucket i (i >= 1) is (2^(i-1)-1, 2^i-1] —
+// i.e. values whose bit length is exactly i.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 0
+	}
+	return float64(int64(1)<<(i-1)) - 1, float64(int64(1)<<uint(min64(i, 62))) - 1
+}
+
+func min64(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by locating the
+// target rank's bucket and interpolating linearly inside it. The
+// estimate is clamped to the observed [Min, Max], so p0 == Min and
+// p100 == Max exactly. Returns NaN when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	cum := 0.0
+	est := float64(s.Max)
+	for _, b := range s.Buckets {
+		n := float64(b.Count)
+		if cum+n >= target {
+			lo, hi := bucketBounds(bucketOf(b.Le))
+			frac := 0.0
+			if n > 0 {
+				frac = (target - cum) / n
+			}
+			est = lo + (hi-lo)*frac
+			break
+		}
+		cum += n
+	}
+	if est < float64(s.Min) {
+		est = float64(s.Min)
+	}
+	if est > float64(s.Max) {
+		est = float64(s.Max)
+	}
+	return est
+}
+
 // snapshot reads the histogram under its lock.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, n := range h.buckets {
+		if n > 0 {
+			_, hi := bucketBounds(i)
+			s.Buckets = append(s.Buckets, BucketCount{Le: int64(hi), Count: n})
+		}
+	}
+	h.mu.Unlock()
+	if s.Count > 0 {
+		s.P50 = s.Quantile(0.50)
+		s.P95 = s.Quantile(0.95)
+		s.P99 = s.Quantile(0.99)
+	}
+	return s
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -166,6 +254,66 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// LabeledName renders a metric name with label pairs in the
+// conventional `name{k="v",k2="v2"}` form, labels sorted by key so the
+// same label set always yields the same instrument. kv alternates
+// key, value; a trailing odd key is ignored. With no labels it returns
+// name unchanged.
+func LabeledName(name string, kv ...string) string {
+	if len(kv) < 2 {
+		return name
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(p.v)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// SplitLabels is the inverse of LabeledName: it separates the base
+// metric name from the rendered label block ("" when unlabeled).
+func SplitLabels(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// CounterL returns the counter for a labeled variant of name, e.g.
+// CounterL("requests", "scheme", "ospill") is the instrument
+// `requests{scheme="ospill"}`. Labeled variants are ordinary registry
+// entries: they appear in Snapshot/WriteText under their full labeled
+// name, and the Prometheus exposition renders them as one series per
+// label set.
+func (r *Registry) CounterL(name string, kv ...string) *Counter {
+	return r.Counter(LabeledName(name, kv...))
+}
+
+// GaugeL is Gauge for a labeled variant; see CounterL.
+func (r *Registry) GaugeL(name string, kv ...string) *Gauge {
+	return r.Gauge(LabeledName(name, kv...))
+}
+
+// HistogramL is Histogram for a labeled variant; see CounterL.
+func (r *Registry) HistogramL(name string, kv ...string) *Histogram {
+	return r.Histogram(LabeledName(name, kv...))
+}
+
 // Snapshot is a stable, sorted view of a registry.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
@@ -213,8 +361,8 @@ func (r *Registry) WriteText(w io.Writer) {
 	sort.Strings(hn)
 	for _, n := range hn {
 		h := s.Histograms[n]
-		fmt.Fprintf(w, "histogram %-32s count=%d sum=%d min=%d max=%d mean=%.1f\n",
-			n, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+		fmt.Fprintf(w, "histogram %-32s count=%d sum=%d min=%d max=%d mean=%.1f p50=%.0f p95=%.0f p99=%.0f\n",
+			n, h.Count, h.Sum, h.Min, h.Max, h.Mean(), h.P50, h.P95, h.P99)
 	}
 }
 

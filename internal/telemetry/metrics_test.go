@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramSnapshotBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{0, 1, 1, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 6 || s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	// Buckets: 0 -> le=0 (1), 1,1 -> le=1 (2), 3 -> le=3 (1),
+	// 100 -> le=127 (1), 1000 -> le=1023 (1).
+	want := []BucketCount{{0, 1}, {1, 2}, {3, 1}, {127, 1}, {1023, 1}}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets %+v, want %+v", s.Buckets, want)
+	}
+	for i, b := range want {
+		if s.Buckets[i] != b {
+			t.Fatalf("bucket %d: %+v, want %+v", i, s.Buckets[i], b)
+		}
+	}
+	total := int64(0)
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 100 observations of 100us, one slow outlier at 10000us: p50 must
+	// sit in the 100us bucket, p99+ must reach toward the outlier's.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	h.Observe(10000)
+	s := h.snapshot()
+	if s.P50 < 64 || s.P50 > 127 {
+		t.Fatalf("p50 = %v, want within the 100us bucket (64,127]", s.P50)
+	}
+	if s.P99 < 64 || s.P99 > 127 {
+		t.Fatalf("p99 = %v, want still within the 100us bucket (100/101 rank)", s.P99)
+	}
+	if q := s.Quantile(1); q != 10000 {
+		t.Fatalf("p100 = %v, want max 10000", q)
+	}
+	if q := s.Quantile(0); q != 100 {
+		t.Fatalf("p0 = %v, want min 100", q)
+	}
+
+	empty := HistogramSnapshot{}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	if empty.P50 != 0 || empty.P99 != 0 {
+		t.Fatalf("empty snapshot quantile fields %+v, want zero", empty)
+	}
+
+	one := &Histogram{}
+	one.Observe(500)
+	s = one.snapshot()
+	if s.P50 != 500 || s.P95 != 500 || s.P99 != 500 {
+		t.Fatalf("single-sample quantiles %+v, want 500 (clamped to min==max)", s)
+	}
+}
+
+func TestHistogramQuantileMonotone(t *testing.T) {
+	h := &Histogram{}
+	for v := int64(1); v <= 4096; v *= 2 {
+		for i := int64(0); i < v; i++ {
+			h.Observe(v)
+		}
+	}
+	s := h.snapshot()
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%.2f -> %v after %v", q, v, prev)
+		}
+		if v < float64(s.Min) || v > float64(s.Max) {
+			t.Fatalf("quantile %v outside [%d,%d]", v, s.Min, s.Max)
+		}
+		prev = v
+	}
+}
+
+func TestLabeledName(t *testing.T) {
+	if got := LabeledName("m"); got != "m" {
+		t.Fatalf("unlabeled: %q", got)
+	}
+	got := LabeledName("m", "b", "2", "a", "1")
+	if got != `m{a="1",b="2"}` {
+		t.Fatalf("labels not sorted: %q", got)
+	}
+	if got != LabeledName("m", "a", "1", "b", "2") {
+		t.Fatal("label order changed the instrument name")
+	}
+	base, labels := SplitLabels(got)
+	if base != "m" || labels != `a="1",b="2"` {
+		t.Fatalf("SplitLabels: %q / %q", base, labels)
+	}
+	base, labels = SplitLabels("plain")
+	if base != "plain" || labels != "" {
+		t.Fatalf("SplitLabels(plain): %q / %q", base, labels)
+	}
+}
+
+// TestLabeledRegistryConcurrent hammers labeled instrument creation,
+// observation and snapshotting from many goroutines; run under -race
+// this is the registry's concurrency contract.
+func TestLabeledRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	schemes := []string{"baseline", "remapping", "select", "ospill", "coalesce"}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				sch := schemes[(g+i)%len(schemes)]
+				r.CounterL("requests", "scheme", sch).Inc()
+				r.HistogramL("latency_us", "scheme", sch).Observe(int64(i))
+				r.GaugeL("inflight", "scheme", sch).Set(int64(i))
+				if i%50 == 0 {
+					_ = r.Snapshot()
+					r.WritePrometheus(&strings.Builder{})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	total := int64(0)
+	for _, sch := range schemes {
+		total += s.Counters[LabeledName("requests", "scheme", sch)]
+	}
+	if total != 8*500 {
+		t.Fatalf("labeled counters total %d, want %d", total, 8*500)
+	}
+}
+
+func TestWriteTextIncludesQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h").Observe(100)
+	var sb strings.Builder
+	r.WriteText(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p99=") {
+		t.Fatalf("WriteText missing quantiles:\n%s", out)
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format WritePrometheus produces.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4):
+//
+//   - counters and gauges become one series each, labeled variants
+//     (see CounterL) one series per label set under the shared base
+//     name;
+//   - histograms become a Prometheus histogram — cumulative
+//     `<name>_bucket{le="..."}` series over the populated power-of-two
+//     bounds plus `+Inf`, `<name>_sum` and `<name>_count` — and, so
+//     dashboards get tail latency without PromQL bucket math, companion
+//     gauges `<name>_p50` / `<name>_p95` / `<name>_p99` carrying the
+//     interpolated quantile estimates.
+//
+// Metric names are sanitized to the Prometheus grammar (every rune
+// outside [a-zA-Z0-9_:] maps to '_'). Families are emitted sorted by
+// base name with one # TYPE line each.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	s := r.Snapshot()
+
+	type series struct {
+		labels string
+		value  float64
+	}
+	counters := map[string][]series{}
+	gauges := map[string][]series{}
+	add := func(fams map[string][]series, name string, v float64) {
+		base, labels := SplitLabels(name)
+		base = sanitizeMetricName(base)
+		fams[base] = append(fams[base], series{labels, v})
+	}
+	for n, v := range s.Counters {
+		add(counters, n, float64(v))
+	}
+	for n, v := range s.Gauges {
+		add(gauges, n, float64(v))
+	}
+
+	emitFamily := func(fams map[string][]series, typ string) {
+		for _, base := range sortedFamilies(fams) {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+			rows := fams[base]
+			sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+			for _, row := range rows {
+				fmt.Fprintf(w, "%s%s %s\n", base, braced(row.labels), formatFloat(row.value))
+			}
+		}
+	}
+	emitFamily(counters, "counter")
+	emitFamily(gauges, "gauge")
+
+	type hseries struct {
+		labels string
+		snap   HistogramSnapshot
+	}
+	hists := map[string][]hseries{}
+	for n, snap := range s.Histograms {
+		base, labels := SplitLabels(n)
+		base = sanitizeMetricName(base)
+		hists[base] = append(hists[base], hseries{labels, snap})
+	}
+	for _, base := range sortedFamilies(hists) {
+		rows := hists[base]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].labels < rows[j].labels })
+		fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+		for _, row := range rows {
+			cum := int64(0)
+			for _, b := range row.snap.Buckets {
+				cum += b.Count
+				fmt.Fprintf(w, "%s_bucket%s %d\n", base, braced(joinLabels(row.labels, fmt.Sprintf(`le="%d"`, b.Le))), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket%s %d\n", base, braced(joinLabels(row.labels, `le="+Inf"`)), row.snap.Count)
+			fmt.Fprintf(w, "%s_sum%s %d\n", base, braced(row.labels), row.snap.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", base, braced(row.labels), row.snap.Count)
+		}
+		for _, q := range []struct {
+			suffix string
+			get    func(HistogramSnapshot) float64
+		}{
+			{"_p50", func(h HistogramSnapshot) float64 { return h.P50 }},
+			{"_p95", func(h HistogramSnapshot) float64 { return h.P95 }},
+			{"_p99", func(h HistogramSnapshot) float64 { return h.P99 }},
+		} {
+			fmt.Fprintf(w, "# TYPE %s%s gauge\n", base, q.suffix)
+			for _, row := range rows {
+				fmt.Fprintf(w, "%s%s%s %s\n", base, q.suffix, braced(row.labels), formatFloat(q.get(row.snap)))
+			}
+		}
+	}
+}
+
+func sanitizeMetricName(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			r = '_'
+		}
+		sb.WriteRune(r)
+	}
+	return sb.String()
+}
+
+// braced wraps a rendered label block in {} ("" stays "").
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// joinLabels appends extra label pairs to a rendered block.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// formatFloat renders integral values without a decimal point and
+// everything else rounded to 3 decimals with trailing zeros trimmed,
+// so interpolated quantile estimates print stably.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func sortedFamilies[T any](m map[string][]T) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte
+// on a registry covering every instrument kind: plain and labeled
+// counters, a gauge, and a histogram (cumulative buckets, sum, count,
+// quantile gauges). The layout is what Prometheus scrapes; change it
+// deliberately or not at all.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("service_requests").Add(7)
+	r.CounterL("compiles", "scheme", "ospill").Add(2)
+	r.CounterL("compiles", "scheme", "select").Add(3)
+	r.Gauge("service_inflight").Set(1)
+	h := r.Histogram("service_compile_us")
+	h.Observe(100) // bucket le=127
+	h.Observe(100)
+	h.Observe(1000) // bucket le=1023
+
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	got := sb.String()
+	want := `# TYPE compiles counter
+compiles{scheme="ospill"} 2
+compiles{scheme="select"} 3
+# TYPE service_requests counter
+service_requests 7
+# TYPE service_inflight gauge
+service_inflight 1
+# TYPE service_compile_us histogram
+service_compile_us_bucket{le="127"} 2
+service_compile_us_bucket{le="1023"} 3
+service_compile_us_bucket{le="+Inf"} 3
+service_compile_us_sum 1200
+service_compile_us_count 3
+# TYPE service_compile_us_p50 gauge
+service_compile_us_p50 111
+# TYPE service_compile_us_p95 gauge
+service_compile_us_p95 946.2
+# TYPE service_compile_us_p99 gauge
+service_compile_us_p99 1000
+`
+	if got != want {
+		t.Fatalf("exposition format drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.HistogramL("stage_us", "stage", "remap", "scheme", "select").Observe(10)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stage_us histogram\n",
+		`stage_us_bucket{scheme="select",stage="remap",le="+Inf"} 1`,
+		`stage_us_sum{scheme="select",stage="remap"} 10`,
+		`stage_us_count{scheme="select",stage="remap"} 1`,
+		`stage_us_p50{scheme="select",stage="remap"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"diffra.compile_us": "diffra_compile_us",
+		"ok_name:sub":       "ok_name:sub",
+		"9starts":           "_starts",
+		"has space":         "has_space",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -148,6 +148,7 @@ func main() {
 	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp|pipeline")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.String("benchtime", "", "per-benchmark run time or count (e.g. 2s, 100x; default 1s)")
+	maxprocs := flag.Int("gomaxprocs", 0, "run suites under this GOMAXPROCS (0 = inherit); recorded in the host block so parallel-worker speedups are attributable")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
@@ -157,6 +158,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
+	}
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
 	}
 
 	rep := report{

@@ -27,7 +27,10 @@ done:
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	s := service.New(service.Config{Registry: telemetry.NewRegistry()})
+	s, err := service.New(service.Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
 	return srv

@@ -21,12 +21,20 @@
 // writes one NDJSON record per request (id, cache hit, queue wait,
 // stage timings).
 //
+// Cluster flags: -cache-dir adds a persistent disk tier under the
+// in-memory LRU (versioned, checksummed entries that survive restarts;
+// damage is a miss, never an error), -max-queue bounds the worker
+// queue — overflow sheds with 429 + Retry-After instead of queueing
+// unboundedly — and -node-id names this node in the X-Diffra-Node
+// response header for fleet debugging behind cmd/diffra-router.
+//
 // Per-request deadlines (timeout_ms, capped by -timeout as the
 // default) propagate into the compiler's long-running searches, so a
 // client that gives up stops burning a worker slot. SIGINT/SIGTERM
 // trigger a graceful shutdown: /healthz flips to 503 so load balancers
-// stop routing, the listener closes, in-flight requests drain, then
-// the process exits.
+// stop routing, the listener closes, in-flight requests drain (the
+// buffered access log flushes its final lines), then the process
+// exits.
 package main
 
 import (
@@ -47,7 +55,11 @@ import (
 func main() {
 	addr := flag.String("addr", ":8791", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent compilations (0 = GOMAXPROCS)")
-	cacheEntries := flag.Int("cache-entries", 1024, "result cache capacity (negative disables)")
+	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result cache capacity (negative disables)")
+	cacheDir := flag.String("cache-dir", "", "persistent disk cache directory (empty = memory-only; entries are versioned and survive restarts)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "disk cache byte budget (0 = 256 MiB)")
+	maxQueue := flag.Int("max-queue", 0, "max requests queued for a worker before shedding with 429 + Retry-After (0 = unbounded)")
+	nodeID := flag.String("node-id", "", "fleet identity echoed as the X-Diffra-Node response header")
 	maxBytes := flag.Int64("max-request-bytes", 1<<20, "request body / IR source size limit")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain limit")
@@ -74,9 +86,13 @@ func main() {
 		}
 	}
 
-	srv := service.NewHTTP(service.Config{
+	srv, err := service.NewHTTP(service.Config{
 		Workers:         *workers,
 		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
+		CacheDiskBytes:  *cacheDiskBytes,
+		MaxQueue:        *maxQueue,
+		NodeID:          *nodeID,
 		MaxRequestBytes: *maxBytes,
 		DefaultTimeout:  *timeout,
 		SelfCheck:       *selfCheck,
@@ -85,6 +101,10 @@ func main() {
 		TraceBuffer:     *traceBuffer,
 		AccessLog:       access,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diffrad:", err)
+		os.Exit(1)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

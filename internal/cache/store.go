@@ -1,0 +1,81 @@
+package cache
+
+// Tier identifies which level of a TwoLevel store served a hit.
+type Tier int
+
+const (
+	// TierNone means the lookup missed every level.
+	TierNone Tier = iota
+	// TierMem is the in-memory LRU.
+	TierMem
+	// TierDisk is the persistent tier.
+	TierDisk
+)
+
+// String names the tier for metrics labels.
+func (t Tier) String() string {
+	switch t {
+	case TierMem:
+		return "mem"
+	case TierDisk:
+		return "disk"
+	}
+	return "none"
+}
+
+// TwoLevel layers the in-memory LRU above the persistent disk tier: a
+// memory hit is free, a disk hit decodes and is promoted to memory, a
+// write goes through to both. Either tier may be nil (memory-only
+// caching is the PR 2 behaviour; disk-only is useful in tests). Values
+// cross the disk boundary through Encode/Decode; a Decode failure is
+// treated exactly like a damaged file — the entry is marked corrupt
+// and the lookup is a miss.
+type TwoLevel[V any] struct {
+	Mem    *LRU[V]
+	Disk   *Disk
+	Encode func(V) ([]byte, error)
+	Decode func([]byte) (V, error)
+}
+
+// Get looks the key up memory-first and reports which tier hit.
+func (t *TwoLevel[V]) Get(key string) (V, Tier, bool) {
+	var zero V
+	if t.Mem != nil {
+		if v, ok := t.Mem.Get(key); ok {
+			return v, TierMem, true
+		}
+	}
+	if t.Disk == nil {
+		return zero, TierNone, false
+	}
+	raw, ok := t.Disk.Get(key)
+	if !ok {
+		return zero, TierNone, false
+	}
+	v, err := t.Decode(raw)
+	if err != nil {
+		t.Disk.MarkCorrupt(key)
+		return zero, TierNone, false
+	}
+	if t.Mem != nil {
+		t.Mem.Put(key, v)
+	}
+	return v, TierDisk, true
+}
+
+// Put stores the value in every configured tier. An Encode failure
+// skips the disk write (the memory entry still lands) — like every
+// disk-tier failure it degrades to a future miss.
+func (t *TwoLevel[V]) Put(key string, v V) {
+	if t.Mem != nil {
+		t.Mem.Put(key, v)
+	}
+	if t.Disk == nil {
+		return
+	}
+	raw, err := t.Encode(v)
+	if err != nil {
+		return
+	}
+	t.Disk.Put(key, raw)
+}

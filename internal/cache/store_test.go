@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+type payload struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func newTwoLevel(t *testing.T, dir string, memEntries int) *TwoLevel[payload] {
+	t.Helper()
+	return &TwoLevel[payload]{
+		Mem:    NewLRU[payload](memEntries),
+		Disk:   mustOpen(t, dir, 1<<20),
+		Encode: func(v payload) ([]byte, error) { return json.Marshal(v) },
+		Decode: func(b []byte) (payload, error) {
+			var v payload
+			err := json.Unmarshal(b, &v)
+			return v, err
+		},
+	}
+}
+
+func TestTwoLevelPromotesDiskHits(t *testing.T) {
+	dir := t.TempDir()
+	tl := newTwoLevel(t, dir, 4)
+	tl.Put("k", payload{N: 7, S: "seven"})
+
+	// Memory serves first.
+	if v, tier, ok := tl.Get("k"); !ok || tier != TierMem || v.N != 7 {
+		t.Fatalf("warm get: %+v tier=%v ok=%t", v, tier, ok)
+	}
+
+	// A fresh store over the same directory simulates a restart: the
+	// memory tier is cold, the disk tier hits and promotes.
+	tl2 := newTwoLevel(t, dir, 4)
+	v, tier, ok := tl2.Get("k")
+	if !ok || tier != TierDisk || v != (payload{N: 7, S: "seven"}) {
+		t.Fatalf("restart get: %+v tier=%v ok=%t", v, tier, ok)
+	}
+	if v, tier, ok = tl2.Get("k"); !ok || tier != TierMem {
+		t.Fatalf("promotion failed: %+v tier=%v ok=%t", v, tier, ok)
+	}
+}
+
+func TestTwoLevelDecodeFailureIsCorruptMiss(t *testing.T) {
+	dir := t.TempDir()
+	tl := &TwoLevel[payload]{
+		Mem:    NewLRU[payload](4),
+		Disk:   mustOpen(t, dir, 1<<20),
+		Encode: func(v payload) ([]byte, error) { return []byte("not json"), nil },
+		Decode: func(b []byte) (payload, error) { return payload{}, errors.New("undecodable") },
+	}
+	tl.Put("k", payload{N: 1})
+	// Cold memory forces the disk path; the framed entry is intact but
+	// the payload does not decode — same contract as file damage.
+	tl.Mem = NewLRU[payload](4)
+	if _, tier, ok := tl.Get("k"); ok || tier != TierNone {
+		t.Fatalf("undecodable entry served: tier=%v ok=%t", tier, ok)
+	}
+	if st := tl.Disk.Stats(); st.Corrupt != 1 {
+		t.Fatalf("decode failure not counted corrupt: %+v", st)
+	}
+	if tl.Disk.Len() != 0 {
+		t.Fatal("undecodable entry not removed")
+	}
+}
+
+func TestTwoLevelMemoryOnlyAndDiskOnly(t *testing.T) {
+	memOnly := &TwoLevel[payload]{Mem: NewLRU[payload](2)}
+	memOnly.Put("k", payload{N: 3})
+	if v, tier, ok := memOnly.Get("k"); !ok || tier != TierMem || v.N != 3 {
+		t.Fatalf("mem-only: %+v tier=%v ok=%t", v, tier, ok)
+	}
+
+	diskOnly := newTwoLevel(t, t.TempDir(), 0)
+	diskOnly.Mem = nil
+	diskOnly.Put("k", payload{N: 4})
+	if v, tier, ok := diskOnly.Get("k"); !ok || tier != TierDisk || v.N != 4 {
+		t.Fatalf("disk-only: %+v tier=%v ok=%t", v, tier, ok)
+	}
+}

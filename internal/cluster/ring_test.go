@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	return keys
+}
+
+// TestRingOwnerDeterministic: ownership is a pure function of the
+// membership set — independent of listing order or which Ring instance
+// computes it. Every router in a fleet must agree.
+func TestRingOwnerDeterministic(t *testing.T) {
+	a := NewRing(64, "n1", "n2", "n3")
+	b := NewRing(64, "n3", "n1", "n2")
+	for _, k := range ringKeys(500) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner(%s) depends on node order: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, no member ends up starved.
+// 3 nodes should each own roughly a third; demand at least 20%.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(DefaultVnodes, "n1", "n2", "n3")
+	counts := map[string]int{}
+	const total = 9000
+	for _, k := range ringKeys(total) {
+		counts[r.Owner(k)]++
+	}
+	for node, c := range counts {
+		if c < total/5 {
+			t.Errorf("%s owns only %d/%d keys — imbalance too high (%v)", node, c, total, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingMembershipStability is the acceptance criterion: removing a
+// node remaps exactly the keys that node owned. Every key owned by a
+// surviving node keeps its owner, so the fleet's caches stay warm
+// through membership churn.
+func TestRingMembershipStability(t *testing.T) {
+	full := NewRing(DefaultVnodes, "n1", "n2", "n3")
+	without2 := NewRing(DefaultVnodes, "n1", "n3")
+	moved, owned2 := 0, 0
+	for _, k := range ringKeys(5000) {
+		before := full.Owner(k)
+		after := without2.Owner(k)
+		if before == "n2" {
+			owned2++
+			if after == "n2" {
+				t.Fatalf("key %s still owned by removed node", k)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+			t.Errorf("key %s moved %s→%s though its owner survived", k, before, after)
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved that should have stayed", moved)
+	}
+	if owned2 == 0 {
+		t.Fatal("test vacuous: n2 owned no keys")
+	}
+
+	// Adding the node back restores the original ownership exactly.
+	again := NewRing(DefaultVnodes, "n1", "n2", "n3")
+	for _, k := range ringKeys(500) {
+		if full.Owner(k) != again.Owner(k) {
+			t.Fatalf("rebuilt ring disagrees on %s", k)
+		}
+	}
+}
+
+// TestRingSuccessors: the failover order starts at the owner, lists
+// distinct nodes, and is capped by membership size.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(32, "n1", "n2", "n3")
+	for _, k := range ringKeys(200) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%s) = %v, want all 3 nodes", k, succ)
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("successors(%s)[0] = %s, owner = %s", k, succ[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("successors(%s) repeats %s: %v", k, n, succ)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors("k", 1); len(got) != 1 || got[0] != r.Owner("k") {
+		t.Fatalf("successors(k, 1) = %v", got)
+	}
+}
+
+// TestRingDegenerate: empty rings and duplicate/empty names don't trap
+// callers.
+func TestRingDegenerate(t *testing.T) {
+	empty := NewRing(16)
+	if empty.Owner("k") != "" || empty.Successors("k", 2) != nil {
+		t.Fatal("empty ring should own nothing")
+	}
+	dup := NewRing(16, "n1", "n1", "", "n2")
+	if got := dup.Nodes(); len(got) != 2 {
+		t.Fatalf("duplicate/empty names not collapsed: %v", got)
+	}
+}

@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGroupCollapsesConcurrentCalls: N concurrent callers with one
+// key run fn exactly once and all observe the identical result;
+// exactly N-1 of them report shared.
+func TestGroupCollapsesConcurrentCalls(t *testing.T) {
+	var g Group
+	var sharedEvents atomic.Int64
+	g.Shared = func() { sharedEvents.Add(1) }
+
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	fn := func(ctx context.Context) ([]byte, int, map[string]string, error) {
+		calls.Add(1)
+		started <- struct{}{}
+		<-gate
+		return []byte("payload"), 200, map[string]string{"K": "V"}, nil
+	}
+
+	const n = 8
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	results := make([][]byte, n)
+
+	// The leader goes first and blocks inside fn, guaranteeing the
+	// other n-1 join its flight rather than racing to lead.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		payload, _, _, shared, err := g.Do(context.Background(), "k", fn)
+		if err != nil || shared {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+		results[0] = payload
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload, status, hdr, shared, err := g.Do(context.Background(), "k", fn)
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			if status != 200 || hdr["K"] != "V" {
+				t.Errorf("caller %d: status=%d hdr=%v", i, status, hdr)
+			}
+			results[i] = payload
+		}(i)
+	}
+	// Let the joiners block on the flight before releasing it. Their
+	// join is registered synchronously inside Do, but give the
+	// goroutines a moment to reach it.
+	for sharedEvents.Load() < n-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if c := calls.Load(); c != 1 {
+		t.Fatalf("fn ran %d times, want 1", c)
+	}
+	if s := sharedCount.Load(); s != n-1 {
+		t.Fatalf("%d callers shared, want %d", s, n-1)
+	}
+	for i, r := range results {
+		if string(r) != "payload" {
+			t.Fatalf("caller %d payload %q", i, r)
+		}
+	}
+
+	// The flight is gone: a fresh call runs fn again.
+	done := make(chan struct{})
+	go func() {
+		g.Do(context.Background(), "k", func(ctx context.Context) ([]byte, int, map[string]string, error) {
+			calls.Add(1)
+			return nil, 200, nil, nil
+		})
+		close(done)
+	}()
+	<-done
+	if c := calls.Load(); c != 2 {
+		t.Fatalf("fresh call after completion reused stale flight (calls=%d)", c)
+	}
+}
+
+// TestGroupDistinctKeysDoNotShare: different keys are independent
+// flights.
+func TestGroupDistinctKeysDoNotShare(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	fn := func(ctx context.Context) ([]byte, int, map[string]string, error) {
+		calls.Add(1)
+		return nil, 200, nil, nil
+	}
+	var wg sync.WaitGroup
+	for _, k := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(k string) {
+			defer wg.Done()
+			g.Do(context.Background(), k, fn)
+		}(k)
+	}
+	wg.Wait()
+	if c := calls.Load(); c != 3 {
+		t.Fatalf("calls = %d, want 3", c)
+	}
+}
+
+// TestGroupCancelsAbandonedFlight: when every waiter gives up, the
+// flight's context is cancelled (the backend request is not orphaned)
+// and the key is free for a fresh attempt.
+func TestGroupCancelsAbandonedFlight(t *testing.T) {
+	var g Group
+	flightCancelled := make(chan struct{})
+	fn := func(ctx context.Context) ([]byte, int, map[string]string, error) {
+		<-ctx.Done()
+		close(flightCancelled)
+		return nil, 0, nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, _, err := g.Do(ctx, "k", fn)
+		errc <- err
+	}()
+	// Wait for the flight to exist, then abandon it.
+	for {
+		g.mu.Lock()
+		_, ok := g.flights["k"]
+		g.mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("abandoning caller got %v, want context.Canceled", err)
+	}
+	select {
+	case <-flightCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flight context never cancelled after all waiters left")
+	}
+
+	// The key must be free immediately — not stuck on the dead flight.
+	payload, _, _, shared, err := g.Do(context.Background(), "k",
+		func(ctx context.Context) ([]byte, int, map[string]string, error) {
+			return []byte("fresh"), 200, nil, nil
+		})
+	if err != nil || shared || string(payload) != "fresh" {
+		t.Fatalf("post-abandon call: payload=%q shared=%v err=%v", payload, shared, err)
+	}
+}
+
+// TestGroupLeaderHangupKeepsFlight: the leader's own disconnect must
+// not kill the flight while another caller still waits on it.
+func TestGroupLeaderHangupKeepsFlight(t *testing.T) {
+	var g Group
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	fn := func(ctx context.Context) ([]byte, int, map[string]string, error) {
+		started <- struct{}{}
+		select {
+		case <-gate:
+			return []byte("survived"), 200, nil, nil
+		case <-ctx.Done():
+			return nil, 0, nil, ctx.Err()
+		}
+	}
+
+	leaderCtx, leaderCancel := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, _, _, _, err := g.Do(leaderCtx, "k", fn)
+		leaderErr <- err
+	}()
+	<-started
+
+	joinerDone := make(chan string, 1)
+	joined := make(chan struct{})
+	go func() {
+		close(joined)
+		payload, _, _, _, err := g.Do(context.Background(), "k", fn)
+		if err != nil {
+			joinerDone <- "err: " + err.Error()
+			return
+		}
+		joinerDone <- string(payload)
+	}()
+	<-joined
+	// Make sure the joiner is registered on the flight before the
+	// leader hangs up.
+	for {
+		g.mu.Lock()
+		f := g.flights["k"]
+		w := 0
+		if f != nil {
+			w = f.waiters
+		}
+		g.mu.Unlock()
+		if w == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	leaderCancel()
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("leader got %v, want context.Canceled", err)
+	}
+	close(gate)
+	if got := <-joinerDone; got != "survived" {
+		t.Fatalf("joiner got %q — leader hang-up killed the shared flight", got)
+	}
+}

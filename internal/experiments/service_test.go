@@ -24,7 +24,10 @@ func TestLowEndBatchParity(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := service.New(service.Config{Registry: telemetry.NewRegistry()})
+	srv, err := service.New(service.Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	batch, err := LowEndBatch(context.Background(), srv, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// occupyWorker grabs one pool slot and holds it until the returned
+// (idempotent) release func runs, so a Workers:1 server is
+// deterministically saturated.
+func occupyWorker(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go s.pool.Do(context.Background(), func() {
+		close(running)
+		<-block
+	})
+	select {
+	case <-running:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker slot never acquired")
+	}
+	var once sync.Once
+	release = func() { once.Do(func() { close(block) }) }
+	t.Cleanup(release) // never leak the slot on a failing assertion
+	return release
+}
+
+func waitQueued(t *testing.T, s *Server, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth stuck at %d, want %d", s.queued.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmissionControlSheds pins the shed policy: with one worker
+// occupied and MaxQueue(=1) requests already waiting, the next arrival
+// is rejected immediately with Shed + a Retry-After hint, counted in
+// service_load_shed_total — and the queued request still completes
+// untouched once the worker frees.
+func TestAdmissionControlSheds(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 1, MaxQueue: 1})
+	release := occupyWorker(t, srv)
+
+	queuedResp := make(chan Response, 1)
+	go func() {
+		queuedResp <- srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: "select"})
+	}()
+	waitQueued(t, srv, 1)
+
+	shed := srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: "coalesce"})
+	if !shed.Shed || shed.Error == "" {
+		t.Fatalf("saturated server accepted the request: %+v", shed)
+	}
+	if shed.RetryAfterMs < 1000 {
+		t.Fatalf("retry hint %dms below the 1s floor", shed.RetryAfterMs)
+	}
+	if got := srv.reg.Counter("service_load_shed_total").Value(); got != 1 {
+		t.Fatalf("service_load_shed_total = %d, want 1", got)
+	}
+	// Sheds are their own outcome class, not compile errors.
+	if got := srv.reg.Counter("service_errors").Value(); got != 0 {
+		t.Fatalf("shed counted as service_errors (%d)", got)
+	}
+
+	release()
+	if resp := <-queuedResp; resp.Error != "" || resp.Shed {
+		t.Fatalf("queued request broken by the shed: %+v", resp)
+	}
+	if got := srv.reg.Counter("service_compiles_total").Value(); got != 1 {
+		t.Fatalf("service_compiles_total = %d, want exactly the queued compile", got)
+	}
+}
+
+// TestShedHTTP429RetryAfter pins the wire contract the router and
+// load balancers rely on: 429 Too Many Requests plus a positive
+// integer Retry-After header.
+func TestShedHTTP429RetryAfter(t *testing.T) {
+	h, ts := newTestHTTPWith(t, Config{Workers: 1, MaxQueue: 1})
+	release := occupyWorker(t, h.Server)
+
+	queuedResp := make(chan Response, 1)
+	go func() {
+		_, resp := postCompileURL(ts.URL, Request{IR: tinyIR, Scheme: "select"})
+		queuedResp <- resp
+	}()
+	waitQueued(t, h.Server, 1)
+
+	hr, resp := postCompile(t, ts.URL, Request{IR: tinyIR, Scheme: "coalesce"})
+	if hr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status %s, want 429", hr.Status)
+	}
+	if !resp.Shed || resp.RetryAfterMs <= 0 {
+		t.Fatalf("shed body %+v", resp)
+	}
+	if ra := hr.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After header %q", ra)
+	}
+
+	release()
+	if r := <-queuedResp; r.Error != "" {
+		t.Fatalf("queued request failed: %+v", r)
+	}
+}

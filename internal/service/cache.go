@@ -1,26 +1,32 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"io"
-	"sync"
+	"time"
 
 	"diffra"
+	"diffra/internal/cache"
 	"diffra/internal/ir"
+	"diffra/internal/telemetry"
 )
 
 // CacheKey derives the content address of a compile request: the
 // SHA-256 of the function's canonical printing plus every resolved
 // option that can change the output. Two requests producing the same
 // key produce byte-identical responses, so the second is served from
-// cache. Callers must pass *resolved* options (Options.Resolved) so a
-// request spelling out the defaults and one leaving them zero share an
-// entry. RemapWorkers and SpillWorkers are deliberately not hashed:
-// both searches are deterministic at any worker count, so the worker
-// setting never changes the response.
+// cache — and the cluster router routes on the same key, so identical
+// IR always lands on the node that has it cached. Callers must pass
+// *resolved* options (Options.Resolved) so a request spelling out the
+// defaults and one leaving them zero share an entry. RemapWorkers and
+// SpillWorkers are deliberately not hashed: both searches are
+// deterministic at any worker count, so the worker setting never
+// changes the response. The disk tier adds cache.SchemaVersion on top
+// of this key, so persisted entries from an incompatible binary can
+// never satisfy it.
 func CacheKey(f *ir.Func, opts diffra.Options, listing, explain bool) string {
 	h := sha256.New()
 	io.WriteString(h, f.String())
@@ -29,59 +35,95 @@ func CacheKey(f *ir.Func, opts diffra.Options, listing, explain bool) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// resultCache is a bounded LRU over compile responses, keyed by
-// CacheKey. Responses are plain values (no pointers into compiler
-// state), so returning a cached copy is safe under concurrency.
+// resultCache is the two-level compile-result cache: the per-node
+// in-memory LRU above the optional persistent disk tier
+// (Config.CacheDir), both keyed by CacheKey. Responses are plain
+// values (no pointers into compiler state), so returning a cached copy
+// is safe under concurrency, and they cross the disk boundary as JSON
+// — the same encoding the HTTP layer serves.
 type resultCache struct {
-	mu  sync.Mutex
-	max int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	tl  cache.TwoLevel[Response]
+	reg *telemetry.Registry
 }
 
-type cacheEntry struct {
-	key  string
-	resp Response
+// newResultCache builds the cache. maxEntries bounds the memory tier
+// (<= 0 disables it); dir, when non-empty, enables the disk tier
+// bounded to diskBytes (0: the cache package default).
+func newResultCache(maxEntries int, dir string, diskBytes int64, reg *telemetry.Registry) (*resultCache, error) {
+	c := &resultCache{reg: reg}
+	c.tl.Mem = cache.NewLRU[Response](maxEntries)
+	if dir != "" {
+		disk, err := cache.OpenDisk(dir, diskBytes)
+		if err != nil {
+			return nil, err
+		}
+		c.tl.Disk = disk
+		c.tl.Encode = func(r Response) ([]byte, error) { return json.Marshal(r) }
+		c.tl.Decode = func(b []byte) (Response, error) {
+			var r Response
+			err := json.Unmarshal(b, &r)
+			return r, err
+		}
+	}
+	return c, nil
 }
 
-// newResultCache builds a cache bounded to max entries; max <= 0
-// disables caching (every lookup misses, every store is dropped).
-func newResultCache(max int) *resultCache {
-	return &resultCache{max: max, ll: list.New(), m: map[string]*list.Element{}}
-}
-
+// get looks a key up and records per-tier metrics: service_cache_hits
+// counts a hit in either tier (the PR 2 counter, unchanged for
+// existing dashboards), service_cache_tier_hits{tier=...} attributes
+// it, and the disk tier's lookup latency lands in
+// service_disk_cache_get_us.
 func (c *resultCache) get(key string) (Response, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.m[key]
+	start := time.Now()
+	resp, tier, ok := c.tl.Get(key)
+	if c.tl.Disk != nil && tier != cache.TierMem {
+		// Only lookups that actually consulted the disk count toward
+		// its latency histogram.
+		c.reg.Histogram("service_disk_cache_get_us").Observe(time.Since(start).Microseconds())
+	}
 	if !ok {
 		return Response{}, false
 	}
-	c.ll.MoveToFront(e)
-	return e.Value.(*cacheEntry).resp, true
+	c.reg.CounterL("service_cache_tier_hits", "tier", tier.String()).Inc()
+	return resp, true
 }
 
+// put stores a response in every tier; the disk write's latency lands
+// in service_disk_cache_put_us.
 func (c *resultCache) put(key string, resp Response) {
-	if c.max <= 0 {
-		return
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.m[key]; ok {
-		e.Value.(*cacheEntry).resp = resp
-		c.ll.MoveToFront(e)
-		return
-	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, resp: resp})
-	for c.ll.Len() > c.max {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+	start := time.Now()
+	c.tl.Put(key, resp)
+	if c.tl.Disk != nil {
+		c.reg.Histogram("service_disk_cache_put_us").Observe(time.Since(start).Microseconds())
 	}
 }
 
 func (c *resultCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	if c.tl.Mem == nil {
+		return 0
+	}
+	return c.tl.Mem.Len()
+}
+
+// refreshGauges mirrors the tiers' internal counters into the
+// registry, called on every /metrics scrape: disk hit/miss/corrupt/
+// evict totals, entry and byte footprints, and the memory tier's
+// eviction count.
+func (c *resultCache) refreshGauges() {
+	if c.tl.Mem != nil {
+		c.reg.Gauge("service_cache_mem_evictions").Set(c.tl.Mem.Evictions())
+	}
+	d := c.tl.Disk
+	if d == nil {
+		return
+	}
+	st := d.Stats()
+	c.reg.Gauge("service_disk_cache_hits").Set(st.Hits)
+	c.reg.Gauge("service_disk_cache_misses").Set(st.Misses)
+	c.reg.Gauge("service_disk_cache_corrupt").Set(st.Corrupt)
+	c.reg.Gauge("service_disk_cache_evictions").Set(st.Evictions)
+	c.reg.Gauge("service_disk_cache_writes").Set(st.Writes)
+	c.reg.Gauge("service_disk_cache_write_errors").Set(st.WriteErrors)
+	c.reg.Gauge("service_disk_cache_entries").Set(int64(d.Len()))
+	c.reg.Gauge("service_disk_cache_bytes").Set(d.Size())
 }

@@ -11,7 +11,6 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -57,11 +56,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// statusOf maps a failed Response to an HTTP status: 504 for
-// deadline/cancellation, 422 for semantic compile errors.
+// statusOf maps a failed Response to an HTTP status: 429 for
+// admission-control sheds, 504 for deadline/cancellation, 422 for
+// semantic compile errors.
 func statusOf(resp Response) int {
 	if resp.Error == "" {
 		return http.StatusOK
+	}
+	if resp.Shed {
+		return http.StatusTooManyRequests
 	}
 	if resp.Timeout {
 		return http.StatusGatewayTimeout
@@ -77,6 +80,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := s.Compile(r.Context(), req)
+	if s.cfg.NodeID != "" {
+		w.Header().Set("X-Diffra-Node", s.cfg.NodeID)
+	}
+	if resp.Shed {
+		secs := (resp.RetryAfterMs + 999) / 1000
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(statusOf(resp))
 	json.NewEncoder(w).Encode(resp)
@@ -133,32 +143,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics refreshes the process gauges, then serves the
-// registry: JSON (the PR 2 format, still the default) or the
-// Prometheus text exposition, negotiated on the Accept header or
-// forced with ?format=prometheus|json.
+// registry through the shared telemetry handler: JSON (the PR 2
+// format, still the default) or the Prometheus text exposition,
+// negotiated on the Accept header or forced with ?format=.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.refreshRuntimeGauges()
-	if wantsPrometheus(r) {
-		w.Header().Set("Content-Type", telemetry.PrometheusContentType)
-		s.reg.WritePrometheus(w)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(s.reg.Snapshot())
-}
-
-func wantsPrometheus(r *http.Request) bool {
-	switch r.URL.Query().Get("format") {
-	case "prometheus", "text":
-		return true
-	case "json":
-		return false
-	}
-	accept := r.Header.Get("Accept")
-	return strings.Contains(accept, "text/plain") ||
-		strings.Contains(accept, "application/openmetrics-text")
+	telemetry.MetricsHandler(s.reg, s.refreshRuntimeGauges).ServeHTTP(w, r)
 }
 
 // refreshRuntimeGauges updates the liveness-context gauges on every
@@ -171,6 +160,8 @@ func (s *Server) refreshRuntimeGauges() {
 	s.reg.Gauge("service_goroutines").Set(int64(runtime.NumGoroutine()))
 	s.reg.Gauge("service_heap_inuse_bytes").Set(int64(ms.HeapInuse))
 	s.reg.Gauge("service_gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+	s.reg.Gauge("service_queue_depth").Set(s.queued.Load())
+	s.cache.refreshGauges()
 }
 
 // traceIndexEntry is the /debug/traces summary row: everything in the
@@ -244,10 +235,14 @@ type HTTPServer struct {
 	hs *http.Server
 }
 
-// NewHTTP builds the service with its HTTP front end.
-func NewHTTP(cfg Config) *HTTPServer {
-	s := New(cfg)
-	return &HTTPServer{Server: s, hs: &http.Server{Handler: s.Handler()}}
+// NewHTTP builds the service with its HTTP front end. It fails only
+// when the configured disk cache directory cannot be opened.
+func NewHTTP(cfg Config) (*HTTPServer, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &HTTPServer{Server: s, hs: &http.Server{Handler: s.Handler()}}, nil
 }
 
 // Serve accepts connections on l until Shutdown.
@@ -271,8 +266,14 @@ func (h *HTTPServer) ListenAndServe(addr string) error {
 // Shutdown drains in-flight requests; ctx bounds the wait. The server
 // flips to draining first, so /healthz answers 503 ("draining") for
 // the whole drain window and load balancers stop routing new work
-// here while in-flight compiles finish.
+// here while in-flight compiles finish. After the drain the buffered
+// access log is flushed, so every request that got a response also
+// has its log line on disk before the process exits.
 func (h *HTTPServer) Shutdown(ctx context.Context) error {
 	h.SetDraining(true)
-	return h.hs.Shutdown(ctx)
+	err := h.hs.Shutdown(ctx)
+	if ferr := h.FlushAccessLog(); err == nil {
+		err = ferr
+	}
+	return err
 }

@@ -27,7 +27,18 @@ func newLocalListener(t *testing.T) net.Listener {
 
 func newTestHTTP(t *testing.T) (*HTTPServer, *httptest.Server) {
 	t.Helper()
-	h := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	return newTestHTTPWith(t, Config{Registry: telemetry.NewRegistry()})
+}
+
+func newTestHTTPWith(t *testing.T, cfg Config) (*HTTPServer, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	h, err := NewHTTP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(h.Handler())
 	t.Cleanup(ts.Close)
 	return h, ts
@@ -164,7 +175,10 @@ func TestHTTPBatchStreamsInOrder(t *testing.T) {
 }
 
 func TestHTTPGracefulShutdownDrains(t *testing.T) {
-	h := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	h, err := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l := newLocalListener(t)
 	done := make(chan error, 1)
 	go func() { done <- h.Serve(l) }()

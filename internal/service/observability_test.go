@@ -182,7 +182,10 @@ func TestDebugTracesEndpoints(t *testing.T) {
 }
 
 func TestDebugHandlerServesPprofAndTraces(t *testing.T) {
-	h := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	h, err := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	srv := h.Compile(context.Background(), Request{IR: tinyIR, Scheme: "select"})
 	if srv.Error != "" {
 		t.Fatal(srv.Error)
@@ -213,7 +216,10 @@ func TestDebugHandlerServesPprofAndTraces(t *testing.T) {
 // the moment graceful shutdown begins, /healthz flips to 503
 // "draining" while the in-flight compile still completes.
 func TestHealthzDrainingDuringShutdown(t *testing.T) {
-	h := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	h, err := NewHTTP(Config{Registry: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
 	l := newLocalListener(t)
 	done := make(chan error, 1)
 	go func() { done <- h.Serve(l) }()
@@ -278,8 +284,8 @@ func TestHealthzDrainingDuringShutdown(t *testing.T) {
 // capturing server and a capture-disabled server yields a
 // field-identical Response.
 func TestCaptureEquivalence(t *testing.T) {
-	on := New(Config{Registry: telemetry.NewRegistry()})
-	off := New(Config{Registry: telemetry.NewRegistry(), TraceBuffer: -1})
+	on := newTestServer(t, Config{})
+	off := newTestServer(t, Config{TraceBuffer: -1})
 	for _, req := range []Request{
 		{IR: tinyIR, Scheme: "select"},
 		{IR: tinyIR, Scheme: "coalesce", RegN: 8, DiffN: 4, Listing: true, Explain: true},
@@ -302,12 +308,17 @@ func TestCaptureEquivalence(t *testing.T) {
 
 func TestAccessLogNDJSON(t *testing.T) {
 	var buf bytes.Buffer
-	srv := New(Config{Registry: telemetry.NewRegistry(), AccessLog: &buf})
+	srv := newTestServer(t, Config{AccessLog: &buf})
 	if r := srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: "select"}); r.Error != "" {
 		t.Fatal(r.Error)
 	}
 	srv.Compile(context.Background(), Request{IR: tinyIR, Scheme: "select"}) // cache hit
 	srv.Compile(context.Background(), Request{IR: "garbage"})
+	// The writer is buffered; readers see complete lines after a flush
+	// (Shutdown does this on the daemon's SIGTERM path).
+	if err := srv.FlushAccessLog(); err != nil {
+		t.Fatal(err)
+	}
 
 	sc := bufio.NewScanner(&buf)
 	var lines []map[string]any

@@ -13,6 +13,7 @@
 package service
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -82,15 +83,44 @@ type Response struct {
 	// Timeout distinguishes deadline/cancellation failures from
 	// semantic compile errors.
 	Timeout bool `json:"timeout,omitempty"`
+	// Shed reports admission-control rejection: the worker queue was
+	// full (Config.MaxQueue) and the request was turned away without
+	// compiling. The HTTP layer maps it to 429 with a Retry-After
+	// header; RetryAfterMs carries the same hint for NDJSON batch
+	// lines, which have no per-line headers.
+	Shed         bool `json:"shed,omitempty"`
+	RetryAfterMs int  `json:"retry_after_ms,omitempty"`
 }
 
 // Config parameterizes a Server. The zero value is usable.
 type Config struct {
 	// Workers bounds concurrent compilations (<= 0: GOMAXPROCS).
 	Workers int
-	// CacheEntries bounds the result cache (0: 1024; negative:
-	// caching disabled).
+	// CacheEntries bounds the in-memory result cache (0: 1024;
+	// negative: memory tier disabled).
 	CacheEntries int
+	// CacheDir, when non-empty, enables the persistent disk tier under
+	// the in-memory LRU: compile results survive restarts, keyed by
+	// CacheKey under cache.SchemaVersion. Damaged or truncated entries
+	// are misses, never errors (service_disk_cache_corrupt counts
+	// them).
+	CacheDir string
+	// CacheDiskBytes bounds the disk tier's entry bytes (0: 256 MiB).
+	CacheDiskBytes int64
+	// MaxQueue bounds the requests waiting for a worker slot. Once the
+	// pool is saturated and MaxQueue requests are queued, new arrivals
+	// are shed: Response.Shed is set, the HTTP layer answers 429 with
+	// a Retry-After derived from observed compile latency, and
+	// service_load_shed_total counts the rejection. 0: unbounded (the
+	// pre-admission-control behaviour — queued requests wait until
+	// their deadline).
+	MaxQueue int
+	// NodeID names this process in a fleet; the HTTP layer echoes it
+	// as the X-Diffra-Node response header so cluster tests and the
+	// router can attribute responses to backends, and /metrics gains a
+	// service_node_info{node=...} gauge for dashboards. Empty: no
+	// header, no gauge.
+	NodeID string
 	// MaxRequestBytes bounds a request body and the IR source inside
 	// it (0: 1 MiB).
 	MaxRequestBytes int64
@@ -176,6 +206,7 @@ type Server struct {
 	cache     *resultCache
 	reg       *telemetry.Registry
 	inflight  atomic.Int64
+	queued    atomic.Int64
 	checkTick atomic.Int64
 
 	started  time.Time
@@ -183,17 +214,29 @@ type Server struct {
 	traces   *traceBuffer // nil: capture disabled
 	bridge   *telemetry.MetricsSink
 
-	accessMu  sync.Mutex
-	accessEnc *json.Encoder
+	accessMu    sync.Mutex
+	accessBuf   *bufio.Writer
+	accessEnc   *json.Encoder
+	accessFlush time.Time
 }
 
-// New builds a Server.
-func New(cfg Config) *Server {
+// accessFlushEvery bounds how stale the buffered access log may run:
+// a write more than this long after the last flush flushes. Shutdown
+// flushes unconditionally, so a drained server never loses lines.
+const accessFlushEvery = time.Second
+
+// New builds a Server. It fails only when the configured disk cache
+// directory cannot be opened.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	rc, err := newResultCache(cfg.CacheEntries, cfg.CacheDir, cfg.CacheDiskBytes, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    NewPool(cfg.Workers),
-		cache:   newResultCache(cfg.CacheEntries),
+		cache:   rc,
 		reg:     cfg.Registry,
 		started: time.Now(),
 	}
@@ -202,10 +245,14 @@ func New(cfg Config) *Server {
 		s.bridge = &telemetry.MetricsSink{Reg: s.reg}
 	}
 	if cfg.AccessLog != nil {
-		s.accessEnc = json.NewEncoder(cfg.AccessLog)
+		s.accessBuf = bufio.NewWriterSize(cfg.AccessLog, 64<<10)
+		s.accessEnc = json.NewEncoder(s.accessBuf)
 	}
 	s.reg.Gauge("service_start_time_unix").Set(s.started.Unix())
-	return s
+	if cfg.NodeID != "" {
+		s.reg.GaugeL("service_node_info", "node", cfg.NodeID).Set(1)
+	}
+	return s, nil
 }
 
 // SetDraining flips the server's lifecycle state; once draining the
@@ -247,6 +294,30 @@ func (s *Server) Pool() *Pool { return s.pool }
 // Registry exposes the metrics registry the server records into.
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
+// shedResponse builds the admission-control rejection, with a
+// Retry-After hint derived from the live state: the current backlog
+// times the observed median compile time, spread over the worker
+// pool, clamped to [1s, 60s]. Before any compile has been observed
+// the hint is the 1s floor.
+func (s *Server) shedResponse() Response {
+	retry := time.Second
+	if snap := s.reg.Histogram("service_compile_us").Snapshot(); snap.Count > 0 {
+		backlog := s.queued.Load() + 1
+		est := time.Duration(snap.P50*float64(backlog)/float64(s.pool.Workers())) * time.Microsecond
+		if est > retry {
+			retry = est
+		}
+	}
+	if retry > time.Minute {
+		retry = time.Minute
+	}
+	return Response{
+		Error:        "service: overloaded, worker queue full",
+		Shed:         true,
+		RetryAfterMs: int(retry / time.Millisecond),
+	}
+}
+
 func errResponse(err error) Response {
 	r := Response{Error: err.Error()}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -272,11 +343,15 @@ func (s *Server) Compile(ctx context.Context, req Request) Response {
 		rec.Scheme, rec.RegN, rec.DiffN = resp.Scheme, resp.RegN, resp.DiffN
 	}
 	rec.Cached = resp.Cached
-	rec.Error, rec.Timeout = resp.Error, resp.Timeout
+	rec.Error, rec.Timeout, rec.Shed = resp.Error, resp.Timeout, resp.Shed
 	if resp.Error != "" {
-		if resp.Timeout {
+		switch {
+		case resp.Shed:
+			// Counted at the admission decision (service_load_shed_total);
+			// a shed is neither a compile error nor a timeout.
+		case resp.Timeout:
 			s.reg.Counter("service_timeouts").Inc()
-		} else {
+		default:
 			s.reg.Counter("service_errors").Inc()
 		}
 	}
@@ -306,6 +381,7 @@ func (s *Server) logAccess(rec *TraceRecord) {
 		Stages  map[string]int64 `json:"stages_us,omitempty"`
 		Error   string           `json:"error,omitempty"`
 		Timeout bool             `json:"timeout,omitempty"`
+		Shed    bool             `json:"shed,omitempty"`
 	}
 	ar := accessRecord{
 		TS:      rec.Start.UTC().Format(time.RFC3339Nano),
@@ -319,6 +395,7 @@ func (s *Server) logAccess(rec *TraceRecord) {
 		DurUS:   rec.DurUS,
 		Error:   rec.Error,
 		Timeout: rec.Timeout,
+		Shed:    rec.Shed,
 	}
 	if rec.root != nil {
 		ar.Stages = make(map[string]int64, len(rec.root.Children))
@@ -328,7 +405,27 @@ func (s *Server) logAccess(rec *TraceRecord) {
 	}
 	s.accessMu.Lock()
 	s.accessEnc.Encode(ar)
+	// The encoder writes into a buffer so a hot server does one syscall
+	// per 64 KiB, not per request; bound the staleness a tailing reader
+	// sees. Shutdown calls FlushAccessLog for the final lines.
+	if now := time.Now(); now.Sub(s.accessFlush) >= accessFlushEvery {
+		s.accessBuf.Flush()
+		s.accessFlush = now
+	}
 	s.accessMu.Unlock()
+}
+
+// FlushAccessLog forces any buffered access-log lines to the
+// configured writer. HTTPServer.Shutdown calls it after the drain, so
+// a SIGTERM'd daemon loses no request lines; tests and embedders that
+// read the log mid-flight call it directly.
+func (s *Server) FlushAccessLog() error {
+	if s.accessBuf == nil {
+		return nil
+	}
+	s.accessMu.Lock()
+	defer s.accessMu.Unlock()
+	return s.accessBuf.Flush()
 }
 
 func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecord) Response {
@@ -380,11 +477,27 @@ func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecor
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 
+	// Admission control: once MaxQueue requests are already waiting
+	// for a worker slot, shed instead of queueing. A loaded server
+	// answering 429 in microseconds beats one answering 504 after the
+	// client's whole deadline — and tells the router/client when to
+	// retry. (The check-then-add window can overshoot by a few
+	// requests under a stampede; the bound is a shed policy, not an
+	// invariant.)
+	if max := s.cfg.MaxQueue; max > 0 && s.queued.Load() >= int64(max) {
+		s.reg.Counter("service_load_shed_total").Inc()
+		return s.shedResponse()
+	}
+
 	var resp Response
 	s.reg.Gauge("service_inflight").Set(s.inflight.Add(1))
 	defer func() { s.reg.Gauge("service_inflight").Set(s.inflight.Add(-1)) }()
+	s.queued.Add(1)
+	dequeued := false
 	started := time.Now()
 	err = s.pool.Do(ctx, func() {
+		s.queued.Add(-1)
+		dequeued = true
 		rec.QueueUS = time.Since(started).Microseconds()
 		s.reg.Histogram("service_queue_wait_us").Observe(rec.QueueUS)
 		resp = s.compile(ctx, f, opts, req, rec)
@@ -392,6 +505,9 @@ func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecor
 	s.reg.Histogram("service_compile_us").Observe(time.Since(started).Microseconds())
 	if err != nil {
 		// The deadline fired while the request was still queued.
+		if !dequeued {
+			s.queued.Add(-1)
+		}
 		rec.QueueUS = time.Since(started).Microseconds()
 		return errResponse(fmt.Errorf("service: queued past deadline: %w", err))
 	}
@@ -408,6 +524,11 @@ func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecor
 // the registry's per-stage metrics through the span→metrics bridge —
 // the same breakdown tracing would show, with tracing never configured.
 func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, req Request, rec *TraceRecord) Response {
+	// Counts actual backend compile executions — cache hits and shed
+	// requests never reach here. The cluster's singleflight dedup
+	// proof pins this counter: N identical concurrent requests through
+	// the router must move it by exactly 1 fleet-wide.
+	s.reg.Counter("service_compiles_total").Inc()
 	if s.traces != nil {
 		capture := &telemetry.CollectSink{}
 		opts.Telemetry = telemetry.New(telemetry.MultiSink{capture, s.bridge})

@@ -62,7 +62,11 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
-	return New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 // waitGoroutines polls until the goroutine count drops back to the

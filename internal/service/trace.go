@@ -26,6 +26,9 @@ type TraceRecord struct {
 	QueueUS int64  `json:"queue_us"`
 	Error   string `json:"error,omitempty"`
 	Timeout bool   `json:"timeout,omitempty"`
+	// Shed marks an admission-control rejection (429): retained like
+	// other interesting records so overload windows stay inspectable.
+	Shed bool `json:"shed,omitempty"`
 	// Diverged reports a self-check shadow-oracle divergence on this
 	// request — always retained, it is the trace you want most.
 	Diverged bool `json:"selfcheck_diverged,omitempty"`

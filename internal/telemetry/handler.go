@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// MetricsHandler serves a registry over HTTP with the service's
+// content negotiation: indented JSON of Registry.Snapshot by default,
+// the Prometheus text exposition when the Accept header asks for
+// text/plain or openmetrics, either forced with ?format=prometheus or
+// ?format=json. refresh, when non-nil, runs before every render so
+// scrape-time gauges (uptime, goroutines, heap) stay current. Both the
+// compile daemon and the cluster router mount this handler, so one
+// scrape config covers every process of a fleet.
+func MetricsHandler(reg *Registry, refresh func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if refresh != nil {
+			refresh()
+		}
+		if WantsPrometheus(r) {
+			w.Header().Set("Content-Type", PrometheusContentType)
+			reg.WritePrometheus(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(reg.Snapshot())
+	})
+}
+
+// WantsPrometheus reports whether an HTTP request negotiated the
+// Prometheus text exposition instead of the default JSON snapshot.
+func WantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}

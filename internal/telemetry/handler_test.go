@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsHandlerNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("demo_total").Add(3)
+	reg.Histogram("demo_us").Observe(7)
+	refreshed := 0
+	h := MetricsHandler(reg, func() { refreshed++ })
+
+	// Default: indented JSON snapshot.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("default body not JSON: %v", err)
+	}
+	if snap.Counters["demo_total"] != 3 {
+		t.Fatalf("snapshot counters %v", snap.Counters)
+	}
+
+	// Accept: text/plain negotiates the Prometheus exposition.
+	rr = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	h.ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("prometheus content type %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), `demo_us_bucket{le="+Inf"}`) {
+		t.Fatalf("prometheus body missing cumulative buckets:\n%s", rr.Body.String())
+	}
+
+	// ?format= overrides the Accept header in both directions.
+	rr = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/metrics?format=json", nil)
+	req.Header.Set("Accept", "text/plain")
+	h.ServeHTTP(rr, req)
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("format=json content type %q", ct)
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	if ct := rr.Header().Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("format=prometheus content type %q", ct)
+	}
+
+	if refreshed != 4 {
+		t.Fatalf("refresh ran %d times, want once per render", refreshed)
+	}
+}

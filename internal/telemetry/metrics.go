@@ -184,6 +184,12 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	return est
 }
 
+// Snapshot reads the histogram's current state: counts, bounds,
+// populated buckets and estimated quantiles. The service's admission
+// controller derives Retry-After hints from it without paying for a
+// whole-registry snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
 // snapshot reads the histogram under its lock.
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()

@@ -1,0 +1,73 @@
+package diffra_test
+
+import (
+	"testing"
+
+	"diffra"
+	"diffra/internal/diffenc"
+	"diffra/internal/ir"
+	"diffra/internal/irc"
+	"diffra/internal/scratch"
+	"diffra/internal/workloads"
+)
+
+// Steady-state allocation budgets for the compile hot path, measured
+// with a warm per-worker arena — the service configuration. Each
+// budget is the measured number plus ~30% headroom: enough slack for
+// toolchain drift, tight enough that reintroducing a per-round map or
+// a per-call slice (the regressions this PR removed — the seed
+// measured ~2100 allocs/op for IRCAllocate/susan) fails immediately.
+// testing.AllocsPerRun runs the body once before measuring, which
+// absorbs arena warm-up.
+const (
+	ircAllocateBudget = 200  // measured ~137 (susan, K=8)
+	diffEncodeBudget  = 80   // measured ~26 (sha, RegN=12, DiffN=8)
+	compileFuncBudget = 1100 // measured ~864 (crc32, remapping, 8 restarts)
+)
+
+func assertAllocBudget(t *testing.T, name string, budget float64, body func()) {
+	t.Helper()
+	got := testing.AllocsPerRun(20, body)
+	t.Logf("%s: %.0f allocs/op (budget %.0f)", name, got, budget)
+	if got > budget {
+		t.Errorf("%s allocates %.0f/op, budget %.0f — a hot loop regressed", name, got, budget)
+	}
+}
+
+func TestAllocBudgetIRCAllocate(t *testing.T) {
+	k := workloads.KernelByName("susan")
+	ar := new(scratch.Arena)
+	assertAllocBudget(t, "IRCAllocate/susan", ircAllocateBudget, func() {
+		if _, _, err := irc.Allocate(k.F, irc.Options{K: 8, Scratch: ar}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetDiffEncode(t *testing.T) {
+	k := workloads.KernelByName("sha")
+	out, asn, err := irc.Allocate(k.F, irc.Options{K: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := diffenc.Config{RegN: 12, DiffN: 8}
+	regOf := func(r ir.Reg) int { return asn.Color[r] }
+	ar := new(scratch.Arena)
+	assertAllocBudget(t, "DiffEncode/sha", diffEncodeBudget, func() {
+		ar.Reset()
+		if _, err := diffenc.EncodeScratch(out, regOf, cfg, ar); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetCompileFunc(t *testing.T) {
+	k := workloads.KernelByName("crc32")
+	ar := new(scratch.Arena)
+	opts := diffra.Options{Scheme: diffra.Remapping, RegN: 8, DiffN: 6, Restarts: 8, Scratch: ar}
+	assertAllocBudget(t, "CompileFunc/crc32/remapping", compileFuncBudget, func() {
+		if _, err := diffra.CompileFunc(k.F, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -22,6 +22,7 @@ import (
 	"diffra/internal/modsched"
 	"diffra/internal/pipeline"
 	"diffra/internal/remap"
+	"diffra/internal/scratch"
 	"diffra/internal/vliw"
 	"diffra/internal/workloads"
 )
@@ -139,15 +140,30 @@ func BenchmarkTable3Spills(b *testing.B) {
 // ---- component micro-benchmarks ----
 
 // BenchmarkIRCAllocate measures the baseline allocator on the largest
-// kernel.
+// kernel: the flat-state engine with a warm arena (the steady-state
+// service configuration) against the retained map-based legacy
+// formulation. The two produce identical assignments (see
+// TestAllocateMatchesLegacy); only machinery and allocation behavior
+// differ.
 func BenchmarkIRCAllocate(b *testing.B) {
 	k := workloads.KernelByName("susan")
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := irc.Allocate(k.F, irc.Options{K: 8}); err != nil {
-			b.Fatal(err)
+	b.Run("flat", func(b *testing.B) {
+		ar := new(scratch.Arena)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := irc.Allocate(k.F, irc.Options{K: 8, Scratch: ar}); err != nil {
+				b.Fatal(err)
+			}
 		}
-	}
+	})
+	b.Run("legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := irc.LegacyAllocate(k.F, irc.Options{K: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkDiffEncode measures differential encoding of an allocated
@@ -160,9 +176,11 @@ func BenchmarkDiffEncode(b *testing.B) {
 	}
 	cfg := diffenc.Config{RegN: 12, DiffN: 8}
 	regOf := func(r ir.Reg) int { return asn.Color[r] }
+	ar := new(scratch.Arena)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := diffenc.Encode(out, regOf, cfg); err != nil {
+		ar.Reset()
+		if _, err := diffenc.EncodeScratch(out, regOf, cfg, ar); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,15 @@
 // against the previous revision before accepting a change to either
 // hot path. -benchtime forwards to the harness (e.g. 100x, 2s) when a
 // quick smoke run is enough.
+//
+// -baseline FILE turns a run into a regression gate: every benchmark
+// whose name appears in both the fresh run and FILE has its allocs/op
+// compared, and the process exits non-zero if any lane regressed by
+// more than -max-alloc-regress-pct percent (plus a small absolute
+// floor, so a 2→3 allocs/op jitter never fails a build). CI runs the
+// pipeline suite at -benchtime 1x against the committed
+// BENCH_pipeline.json this way; the suites pre-warm their scratch
+// arenas so even a single-iteration run measures the steady state.
 package main
 
 import (
@@ -40,6 +49,7 @@ import (
 	"diffra/internal/irc"
 	"diffra/internal/ospill"
 	"diffra/internal/remap"
+	"diffra/internal/scratch"
 	"diffra/internal/telemetry"
 	"diffra/internal/workloads"
 )
@@ -77,6 +87,14 @@ type report struct {
 	// (Remap suite only.)
 	SpeedupCSRSerial float64 `json:"speedup_csr_serial,omitempty"`
 	SpeedupWorkers8  float64 `json:"speedup_workers_8,omitempty"`
+
+	// SpeedupIRCFlat is legacy allocator ns/op over the flat allocator's
+	// ns/op on the susan kernel: the single-threaded win of the
+	// index-structure + scratch-arena rebuild of iterated register
+	// coalescing. The two lanes' allocs/op columns are the headline —
+	// the flat lane runs with a warm arena, the service's steady state.
+	// (Remap suite only.)
+	SpeedupIRCFlat float64 `json:"speedup_irc_flat,omitempty"`
 
 	// SpeedupLegacySerial is legacy ns/op over the decomposed solver's
 	// serial ns/op on the hard-disjoint family — the single-threaded
@@ -149,6 +167,8 @@ func main() {
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.String("benchtime", "", "per-benchmark run time or count (e.g. 2s, 100x; default 1s)")
 	maxprocs := flag.Int("gomaxprocs", 0, "run suites under this GOMAXPROCS (0 = inherit); recorded in the host block so parallel-worker speedups are attributable")
+	baseline := flag.String("baseline", "", "baseline report to gate against: exit non-zero if any shared lane's allocs/op regressed (the CI alloc guard)")
+	maxRegress := flag.Float64("max-alloc-regress-pct", 10, "allowed allocs/op growth over -baseline, in percent")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
@@ -191,13 +211,67 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+
+	if *baseline != "" {
+		if err := checkAllocRegression(*baseline, &rep, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// allocNoiseFloor is the absolute allocs/op slack granted on top of
+// the percentage budget: lanes in the single digits jitter by a
+// handful of allocations (map growth, a pooled buffer minted under
+// unlucky timing) and a 2→3 step is a 50% "regression" that means
+// nothing. Real hot-loop regressions — a per-iteration map or slice —
+// show up as hundreds of allocations and clear both thresholds.
+const allocNoiseFloor = 10
+
+// checkAllocRegression compares the fresh report's allocs/op against a
+// committed baseline, lane by lane (only names present in both count,
+// so adding or retiring lanes never breaks the gate), and returns an
+// error naming every lane that grew past maxPct percent plus the
+// noise floor.
+func checkAllocRegression(path string, rep *report, maxPct float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byName := map[string]result{}
+	for _, r := range base.Benchmarks {
+		byName[r.Name] = r
+	}
+	compared, failed := 0, 0
+	for _, r := range rep.Benchmarks {
+		b, ok := byName[r.Name]
+		if !ok {
+			continue
+		}
+		compared++
+		limit := float64(b.AllocsPerOp)*(1+maxPct/100) + allocNoiseFloor
+		if float64(r.AllocsPerOp) > limit {
+			failed++
+			fmt.Fprintf(os.Stderr, "ALLOC REGRESSION %-28s %d allocs/op, baseline %d (limit %.0f)\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp, limit)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "alloc gate: %d lanes compared against %s, %d over budget\n", compared, path, failed)
+	if failed > 0 {
+		return fmt.Errorf("%d lane(s) regressed more than %.0f%% over %s", failed, maxPct, path)
+	}
+	return nil
 }
 
 func runRemapSuite(rep *report) {
@@ -239,20 +313,40 @@ func runRemapSuite(rep *report) {
 	}
 	cfg := diffenc.Config{RegN: 12, DiffN: 8}
 	regOf := func(r ir.Reg) int { return shaAsn.Color[r] }
+	// Warm arena: the encode lane's allocs/op is the steady state the
+	// service sees, with the arena's regions already grown.
+	ar := new(scratch.Arena)
+	if _, err := diffenc.EncodeScratch(shaOut, regOf, cfg, ar); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
 	rep.Benchmarks = append(rep.Benchmarks, run("DiffEncode/sha", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := diffenc.Encode(shaOut, regOf, cfg); err != nil {
+			ar.Reset()
+			if _, err := diffenc.EncodeScratch(shaOut, regOf, cfg, ar); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}))
 
 	susan := workloads.KernelByName("susan")
-	rep.Benchmarks = append(rep.Benchmarks, run("IRCAllocate/susan", func(b *testing.B) {
+	if _, _, err := irc.Allocate(susan.F, irc.Options{K: 8, Scratch: ar}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, run("IRCAllocate/susan/flat", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := irc.Allocate(susan.F, irc.Options{K: 8}); err != nil {
+			if _, _, err := irc.Allocate(susan.F, irc.Options{K: 8, Scratch: ar}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	rep.Benchmarks = append(rep.Benchmarks, run("IRCAllocate/susan/legacy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := irc.LegacyAllocate(susan.F, irc.Options{K: 8}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -267,6 +361,9 @@ func runRemapSuite(rep *report) {
 	}
 	if serial, w8 := byName["RemapGreedy/workers=1"], byName["RemapGreedy/workers=8"]; w8.NsPerOp > 0 {
 		rep.SpeedupWorkers8 = serial.NsPerOp / w8.NsPerOp
+	}
+	if legacy, flat := byName["IRCAllocate/susan/legacy"], byName["IRCAllocate/susan/flat"]; flat.NsPerOp > 0 {
+		rep.SpeedupIRCFlat = legacy.NsPerOp / flat.NsPerOp
 	}
 }
 
@@ -337,9 +434,12 @@ func runILPSuite(rep *report) {
 // paper's reference point (select scheme, 12 registers, 8 encodable
 // differences) at the same restart budget the remap suite uses, so
 // one compile stays in the hundreds of microseconds and ten kernels
-// fit in a default benchtime run.
-func pipelineOpts() diffra.Options {
-	return diffra.Options{Scheme: diffra.Select, RegN: 12, DiffN: 8, Restarts: 100}
+// fit in a default benchtime run. The shared scratch arena is the
+// service's per-worker configuration: CompileFunc resets it between
+// phases, so the steady-state allocs/op the suite reports is what a
+// warm daemon worker pays per request.
+func pipelineOpts(ar *scratch.Arena) diffra.Options {
+	return diffra.Options{Scheme: diffra.Select, RegN: 12, DiffN: 8, Restarts: 100, Scratch: ar}
 }
 
 // runPipelineSuite benchmarks end-to-end CompileFunc over every §8
@@ -363,6 +463,17 @@ const pipelineRounds = 3
 func runPipelineSuite(rep *report) {
 	bridge := &telemetry.MetricsSink{Reg: telemetry.NewRegistry()}
 	kernels := workloads.Kernels()
+	// Prime the shared arena: one compile of every kernel grows its
+	// regions to the suite's high-water mark, so even a -benchtime 1x
+	// smoke run (CI's alloc-regression gate) measures the steady state
+	// rather than the one-time warm-up.
+	ar := new(scratch.Arena)
+	for _, k := range kernels {
+		if _, err := diffra.CompileFunc(k.F.Clone(), pipelineOpts(ar)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
 	best := map[string]result{}
 	keep := func(row result) {
 		if prev, ok := best[row.Name]; !ok || row.NsPerOp < prev.NsPerOp {
@@ -375,7 +486,7 @@ func runPipelineSuite(rep *report) {
 			keep(run("Pipeline/"+k.Name, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := diffra.CompileFunc(k.F.Clone(), pipelineOpts()); err != nil {
+					if _, err := diffra.CompileFunc(k.F.Clone(), pipelineOpts(ar)); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -384,7 +495,7 @@ func runPipelineSuite(rep *report) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					capture := &telemetry.CollectSink{}
-					opts := pipelineOpts()
+					opts := pipelineOpts(ar)
 					opts.Telemetry = telemetry.New(telemetry.MultiSink{capture, bridge})
 					if _, err := diffra.CompileFunc(k.F.Clone(), opts); err != nil {
 						b.Fatal(err)
@@ -420,7 +531,7 @@ func runPipelineSuite(rep *report) {
 	stages := map[string]float64{}
 	for _, k := range workloads.Kernels() {
 		capture := &telemetry.CollectSink{}
-		opts := pipelineOpts()
+		opts := pipelineOpts(ar)
 		opts.Telemetry = telemetry.New(capture)
 		if _, err := diffra.CompileFunc(k.F.Clone(), opts); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)

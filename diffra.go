@@ -29,6 +29,7 @@ import (
 	"diffra/internal/ospill"
 	"diffra/internal/regalloc"
 	"diffra/internal/remap"
+	"diffra/internal/scratch"
 	"diffra/internal/telemetry"
 )
 
@@ -81,6 +82,13 @@ type Options struct {
 	// function (compile → allocate/remap/refine/verify/encode/check).
 	// Nil costs nothing.
 	Telemetry *telemetry.Tracer
+	// Scratch, when non-nil, supplies the arena the compile's hot
+	// phases (IRC allocation, differential encoding) carve transient
+	// state from. The compile owns the arena for its duration and
+	// resets it between phases; results never alias it. One arena
+	// serves one compile at a time on one goroutine — the service gives
+	// each worker its own. Never affects results or cache keys.
+	Scratch *scratch.Arena
 }
 
 func (o *Options) fill() error {
@@ -221,9 +229,9 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 	switch opts.Scheme {
 	case Baseline:
 		differential = false
-		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc})
+		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc, Scratch: opts.Scratch})
 	case Remapping:
-		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc})
+		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc, Scratch: opts.Scratch})
 		alloc.End()
 		if err == nil {
 			applyRemap(out, asn, opts, root, cancelled)
@@ -233,6 +241,7 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 			K:             opts.RegN,
 			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc}),
 			Trace:         alloc,
+			Scratch:       opts.Scratch,
 		})
 		alloc.End()
 		if err == nil {
@@ -283,7 +292,13 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 		cfg := diffenc.Config{RegN: opts.RegN, DiffN: opts.DiffN}
 		regOf := func(r ir.Reg) int { return asn.Color[r] }
 		encSpan := root.Child("encode")
-		enc, err := diffenc.Encode(out, regOf, cfg)
+		// The allocate phase is over: nothing arena-backed is live (the
+		// rewritten function, the assignment, and the result are all
+		// heap), so the encoder starts from a rewound arena.
+		if opts.Scratch != nil {
+			opts.Scratch.Reset()
+		}
+		enc, err := diffenc.EncodeScratch(out, regOf, cfg, opts.Scratch)
 		if enc != nil {
 			encSpan.Add("sets", int64(enc.Cost()))
 			encSpan.Add("join_sets", int64(enc.JoinSets))

@@ -19,6 +19,13 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+63)/64)}
 }
 
+// Make wraps an existing word slice as a set value, so callers (the
+// scratch arena) can slab-allocate many sets from one backing array.
+// The words must be zeroed; the set takes ownership of the slice.
+func Make(words []uint64) Set {
+	return Set{words: words}
+}
+
 func (s *Set) grow(i int) {
 	w := i/64 + 1
 	for len(s.words) < w {
@@ -66,6 +73,13 @@ func (s *Set) Clear() {
 // Copy returns an independent copy.
 func (s *Set) Copy() *Set {
 	return &Set{words: append([]uint64(nil), s.words...)}
+}
+
+// CopyFrom makes s an exact copy of t, reusing s's backing array when
+// it is large enough — the allocation-free counterpart of Copy for
+// fixpoints that recycle one scratch set.
+func (s *Set) CopyFrom(t *Set) {
+	s.words = append(s.words[:0], t.words...)
 }
 
 // UnionWith adds all elements of t; reports whether s changed.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"diffra/internal/ir"
+	"diffra/internal/scratch"
 )
 
 // Access identifies one register field of a function, in nominal
@@ -187,45 +188,43 @@ const (
 	lConflict = -2
 )
 
-type lastState map[int]int // class -> register, lUnknown, or lConflict
-
-func (s lastState) get(cls int) int {
-	if v, ok := s[cls]; ok {
-		return v
+// forEachField visits in's register fields in cfg's access order,
+// calling fn with the field index and operand — the iteration
+// RegFields/fieldsOf materialize a slice for, without the slice. The
+// encoder's hot walks run on this.
+func forEachField(in *ir.Instr, cfg Config, fn func(k int, r ir.Reg)) {
+	if in.Op == ir.OpSetLastReg {
+		return
 	}
-	return lUnknown
+	k := 0
+	if cfg.DstFirst {
+		for _, r := range in.Defs {
+			fn(k, r)
+			k++
+		}
+		for _, r := range in.Uses {
+			fn(k, r)
+			k++
+		}
+		return
+	}
+	for _, r := range in.Uses {
+		fn(k, r)
+		k++
+	}
+	for _, r := range in.Defs {
+		fn(k, r)
+		k++
+	}
 }
 
-func (s lastState) clone() lastState {
-	c := make(lastState, len(s))
-	for k, v := range s {
-		c[k] = v
+// fieldCount is len(cfg.FieldsOf(in)) without building the slice; the
+// count is access-order independent.
+func fieldCount(in *ir.Instr) int {
+	if in.Op == ir.OpSetLastReg {
+		return 0
 	}
-	return c
-}
-
-// meet joins a predecessor's out-state into s, ignoring classes pinned
-// by an already-planned head set; reports change.
-func (s lastState) meet(p lastState, pinned map[int]int) bool {
-	changed := false
-	for cls, pv := range p {
-		if pv == lUnknown {
-			continue
-		}
-		if _, pin := pinned[cls]; pin {
-			continue
-		}
-		switch sv := s.get(cls); {
-		case sv == lUnknown:
-			s[cls] = pv
-			changed = true
-		case sv == lConflict:
-		case sv != pv:
-			s[cls] = lConflict
-			changed = true
-		}
-	}
-	return changed
+	return len(in.Uses) + len(in.Defs)
 }
 
 // Encode plans differential encoding for an allocated function. regOf
@@ -238,35 +237,78 @@ func (s lastState) meet(p lastState, pinned map[int]int) bool {
 // Out-of-range differences get a set_last_reg before the instruction
 // with the field's index as decode delay, and the field encodes 0.
 func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
+	return EncodeScratch(f, regOf, cfg, nil)
+}
+
+// EncodeScratch is Encode with the dataflow working state — the
+// per-block last_reg rows and the walk scratch — carved from ar (nil:
+// a private arena, equivalent to Encode). The returned Result is
+// always heap-allocated and survives any later arena Reset.
+func EncodeScratch(f *ir.Func, regOf func(ir.Reg) int, cfg Config, ar *scratch.Arena) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	seq := AccessSequenceOrdered(f, regOf, cfg)
-	for _, a := range seq {
-		if a.Reg < 0 || a.Reg >= cfg.RegN {
-			return nil, fmt.Errorf("diffenc: %s instr %d field %d: register %d outside [0, %d)",
-				a.Block.Name, a.Instr, a.Field, a.Reg, cfg.RegN)
+	if ar == nil {
+		ar = new(scratch.Arena)
+	}
+
+	// Validate every access (first offender in access order wins, like
+	// the old AccessSequence pre-pass) and count fields so Codes is
+	// allocated exactly once.
+	nf := 0
+	var verr error
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			forEachField(in, cfg, func(k int, vr ir.Reg) {
+				nf++
+				if r := regOf(vr); (r < 0 || r >= cfg.RegN) && verr == nil {
+					verr = fmt.Errorf("diffenc: %s instr %d field %d: register %d outside [0, %d)",
+						b.Name, i, k, r, cfg.RegN)
+				}
+			})
 		}
 	}
-
-	// Per-block field lists (register numbers, skipping nothing; the
-	// walk below re-derives classes and reserved handling).
-	nb := len(f.Blocks)
-	fields := make([][]int, nb)
-	for _, a := range seq {
-		fields[a.Block.Index] = append(fields[a.Block.Index], a.Reg)
+	if verr != nil {
+		return nil, verr
 	}
 
-	// blockOut simulates a block's effect on the last_reg state.
-	blockOut := func(b *ir.Block, in lastState) lastState {
-		out := in.clone()
-		for _, r := range fields[b.Index] {
-			if _, ok := cfg.reservedCode(r); ok {
-				continue // reserved registers do not touch last_reg
+	// The class space is dense: rows of ncls ints replace the old
+	// class-keyed maps. Values are machine registers (>= 0) or the
+	// lattice sentinels.
+	ncls := 1
+	if cfg.ClassOf != nil {
+		for r := 0; r < cfg.RegN; r++ {
+			if c := cfg.classOf(r) + 1; c > ncls {
+				ncls = c
 			}
-			out[cfg.classOf(r)] = r
 		}
-		return out
+	}
+	nb := len(f.Blocks)
+	// lastIn[b*ncls+cls] is the reaching last_reg; needsSet rows record
+	// planned head sets (-1 absent), pinning the class's in-value.
+	lastIn := ar.Ints(nb * ncls)
+	needsSet := ar.Ints(nb * ncls)
+	for i := range lastIn {
+		lastIn[i] = lUnknown
+		needsSet[i] = -1
+	}
+	rowOf := func(rows []int, b *ir.Block) []int {
+		return rows[b.Index*ncls : (b.Index+1)*ncls]
+	}
+	pout := ar.Ints(ncls)
+
+	// blockOut simulates b's effect on the last_reg state into dst.
+	blockOut := func(b *ir.Block, dst []int) {
+		copy(dst, rowOf(lastIn, b))
+		for _, in := range b.Instrs {
+			forEachField(in, cfg, func(_ int, vr ir.Reg) {
+				r := regOf(vr)
+				if _, ok := cfg.reservedCode(r); ok {
+					return // reserved registers do not touch last_reg
+				}
+				dst[cfg.classOf(r)] = r
+			})
+		}
 	}
 
 	// chosen returns the head-set value for a conflicted class in b:
@@ -277,12 +319,22 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 	// fallback of plain 0 would silently repair classOf(0) instead of
 	// the conflicted class and leave the conflict live.
 	chosen := func(b *ir.Block, cls int) int {
-		for _, r := range fields[b.Index] {
-			if _, ok := cfg.reservedCode(r); ok {
-				continue
-			}
-			if cfg.classOf(r) == cls {
-				return r
+		found := -1
+		for _, in := range b.Instrs {
+			forEachField(in, cfg, func(_ int, vr ir.Reg) {
+				if found >= 0 {
+					return
+				}
+				r := regOf(vr)
+				if _, ok := cfg.reservedCode(r); ok {
+					return
+				}
+				if cfg.classOf(r) == cls {
+					found = r
+				}
+			})
+			if found >= 0 {
+				return found
 			}
 		}
 		for r := 0; r < cfg.RegN; r++ {
@@ -296,21 +348,18 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 		return 0
 	}
 
-	// Fixpoint for lastIn per block. needsSet[b][cls] records planned
-	// head sets; once planned, the class's in-value is pinned.
-	lastIn := make([]lastState, nb)
-	needsSet := make([]map[int]int, nb) // cls -> pinned value
-	for i := range lastIn {
-		lastIn[i] = lastState{}
-		needsSet[i] = map[int]int{}
-	}
 	entry := f.Entry()
-	lastIn[entry.Index][0] = 0
+	// Class 0 and every class accessed anywhere start at the reset
+	// value 0 (the paper's n0 = 0); untouched classes stay unknown.
+	rowOf(lastIn, entry)[0] = 0
 	if cfg.ClassOf != nil {
-		// Every class starts at register 0's... each class's last_reg
-		// is its own hardware register, reset to 0.
-		for _, a := range seq {
-			lastIn[entry.Index][cfg.classOf(a.Reg)] = 0
+		ein := rowOf(lastIn, entry)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				forEachField(in, cfg, func(_ int, vr ir.Reg) {
+					ein[cfg.classOf(regOf(vr))] = 0
+				})
+			}
 		}
 	}
 
@@ -318,21 +367,35 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 	for changed := true; changed; {
 		changed = false
 		for _, b := range rpo {
-			if b != entry {
-				in := lastIn[b.Index]
-				pins := needsSet[b.Index]
-				for _, p := range b.Preds {
-					pout := blockOut(p, lastIn[p.Index])
-					if in.meet(pout, pins) {
+			if b == entry {
+				continue
+			}
+			in := rowOf(lastIn, b)
+			pins := rowOf(needsSet, b)
+			for _, p := range b.Preds {
+				blockOut(p, pout)
+				// The meet, ignoring classes pinned by a planned head set.
+				for cls := 0; cls < ncls; cls++ {
+					pv := pout[cls]
+					if pv == lUnknown || pins[cls] >= 0 {
+						continue
+					}
+					switch sv := in[cls]; {
+					case sv == lUnknown:
+						in[cls] = pv
+						changed = true
+					case sv == lConflict:
+					case sv != pv:
+						in[cls] = lConflict
 						changed = true
 					}
 				}
-				for cls, v := range in {
-					if v == lConflict {
-						pins[cls] = chosen(b, cls)
-						in[cls] = pins[cls]
-						changed = true
-					}
+			}
+			for cls := 0; cls < ncls; cls++ {
+				if in[cls] == lConflict {
+					pins[cls] = chosen(b, cls)
+					in[cls] = pins[cls]
+					changed = true
 				}
 			}
 		}
@@ -347,38 +410,39 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 	// the repair cannot leak onto another path. The canonical win is a
 	// loop header whose back edge already agrees: the repair moves to
 	// the preheader and executes once instead of every iteration.
-	res := &Result{Cfg: cfg}
-	freq := f.BlockFreq()
+	res := &Result{Cfg: cfg, Codes: make([]int, 0, nf)}
+	freq := f.BlockFreqs()
 	for _, b := range f.Blocks {
-		clss := make([]int, 0, len(needsSet[b.Index]))
-		for cls := range needsSet[b.Index] {
-			clss = append(clss, cls)
-		}
-		sort.Ints(clss)
-		for _, cls := range clss {
-			v := needsSet[b.Index][cls]
+		pins := rowOf(needsSet, b)
+		// Ascending class order, as the old sort over the map's keys
+		// produced.
+		for cls := 0; cls < ncls; cls++ {
+			v := pins[cls]
+			if v < 0 {
+				continue
+			}
 			var disagree []JoinSource
 			edgeOK := true
 			edgeFreq := 0.0
 			for _, p := range b.Preds {
-				pout := blockOut(p, lastIn[p.Index]).get(cls)
-				if pout < 0 {
-					pout = 0
+				blockOut(p, pout)
+				pv := pout[cls]
+				if pv < 0 {
+					pv = 0
 				}
-				if pout == v {
+				if pv == v {
 					continue
 				}
-				disagree = append(disagree, JoinSource{Pred: p, Last: pout})
-				edgeFreq += freq[p]
+				disagree = append(disagree, JoinSource{Pred: p, Last: pv})
+				edgeFreq += freq[p.Index]
 				if len(p.Succs) != 1 || len(p.Instrs) == 0 {
 					edgeOK = false
 				}
 			}
-			if edgeOK && len(disagree) > 0 && edgeFreq < freq[b] {
+			if edgeOK && len(disagree) > 0 && edgeFreq < freq[b.Index] {
 				for _, src := range disagree {
 					p := src.Pred
-					term := p.Terminator()
-					delay := len(term.RegFields())
+					delay := fieldCount(p.Terminator())
 					if delay == 0 {
 						delay = -1
 					}
@@ -400,43 +464,47 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Encoding walk.
+	// Encoding walk. cur/base/instrLast are reused ncls rows; -1 marks
+	// an absent entry (real values are registers >= 0).
+	cur := ar.Ints(ncls)
+	base := ar.Ints(ncls)
+	instrLast := ar.Ints(ncls)
 	for _, b := range f.Blocks {
-		cur := lastIn[b.Index].clone()
-		// Resolve untouched/unknown classes to the reset value 0.
-		resolve := func(cls int) int {
-			v := cur.get(cls)
-			if v < 0 {
-				return 0
-			}
-			return v
-		}
+		copy(cur, rowOf(lastIn, b))
 		// Conflicted classes enter pinned regardless of where their
 		// repair was placed.
-		for cls, v := range needsSet[b.Index] {
-			cur[cls] = v
+		pins := rowOf(needsSet, b)
+		for cls := 0; cls < ncls; cls++ {
+			if pins[cls] >= 0 {
+				cur[cls] = pins[cls]
+			}
 		}
 		for i, in := range b.Instrs {
 			// Per-instruction mode (§9.4): every field diffs against
 			// the class's last_reg as of instruction start (possibly
 			// overridden by a mid-instruction repair set); last_reg
 			// advances to the class's final field afterwards.
-			var base map[int]int
 			if cfg.PerInstruction {
-				base = map[int]int{}
+				for cls := 0; cls < ncls; cls++ {
+					base[cls] = -1
+					instrLast[cls] = -1
+				}
 			}
-			instrLast := map[int]int{}
-			for k, vr := range fieldsOf(in, cfg) {
+			forEachField(in, cfg, func(k int, vr ir.Reg) {
 				r := regOf(vr)
 				if code, ok := cfg.reservedCode(r); ok {
 					res.Codes = append(res.Codes, code)
-					continue
+					return
 				}
 				cls := cfg.classOf(r)
-				prev := resolve(cls)
+				// Untouched/unknown classes resolve to the reset value 0.
+				prev := cur[cls]
+				if prev < 0 {
+					prev = 0
+				}
 				if cfg.PerInstruction {
-					if v, ok := base[cls]; ok {
-						prev = v
+					if base[cls] >= 0 {
+						prev = base[cls]
 					} else {
 						base[cls] = prev
 					}
@@ -462,9 +530,13 @@ func Encode(f *ir.Func, regOf func(ir.Reg) int, cfg Config) (*Result, error) {
 				} else {
 					cur[cls] = r
 				}
-			}
-			for cls, r := range instrLast {
-				cur[cls] = r
+			})
+			if cfg.PerInstruction {
+				for cls := 0; cls < ncls; cls++ {
+					if instrLast[cls] >= 0 {
+						cur[cls] = instrLast[cls]
+					}
+				}
 			}
 		}
 	}

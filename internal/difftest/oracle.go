@@ -19,6 +19,11 @@ type RunSpec struct {
 	Args     []int64
 	Mem      map[int64]int64
 	MaxSteps uint64
+	// ArgLive, when non-nil, is liveness.LiveParams of the SOURCE
+	// function, positionally for its params. Sweeps that check one
+	// source under many geometries set it once so CompareCompiled does
+	// not re-run the liveness analysis per compile; nil computes it.
+	ArgLive []bool
 }
 
 // Models lists the decode models the oracle exercises.
@@ -80,6 +85,10 @@ func CheckCompiled(src *ir.Func, res *diffra.Result, spec RunSpec) error {
 // trace, so sweeps can amortize the reference run across geometries.
 func CompareCompiled(src *ir.Func, res *diffra.Result, ref *interp.Trace, spec RunSpec) error {
 	asn := res.Assignment
+	argLive := spec.ArgLive
+	if argLive == nil {
+		argLive = liveness.LiveParams(src)
+	}
 	base := interp.Options{
 		Args:        spec.Args,
 		OrigParams:  src.Params,
@@ -91,7 +100,7 @@ func CompareCompiled(src *ir.Func, res *diffra.Result, ref *interp.Trace, spec R
 		// A dead parameter may legally share its machine register with
 		// a live one (it interferes with nothing); liveness on the
 		// SOURCE function decides which positional arguments bind.
-		ArgLive: liveness.LiveParams(src),
+		ArgLive: argLive,
 	}
 	// The allocation alone (registers straight from the colors):
 	// separates allocator bugs from encoding bugs in the report.

@@ -8,6 +8,7 @@ import (
 	"diffra"
 	"diffra/internal/diffenc"
 	"diffra/internal/interp"
+	"diffra/internal/liveness"
 	"diffra/internal/workloads"
 )
 
@@ -49,7 +50,9 @@ func TestSweepSchemes(t *testing.T) {
 	schemes := []diffra.Scheme{diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce}
 	checked := 0
 	for _, k := range workloads.Kernels() {
-		spec := RunSpec{Args: k.Args, Mem: k.Mem}
+		// One liveness analysis per source kernel, shared by every
+		// scheme×geometry comparison below via spec.ArgLive.
+		spec := RunSpec{Args: k.Args, Mem: k.Mem, ArgLive: liveness.LiveParams(k.F)}
 		ref, err := Reference(k.F, spec)
 		if err != nil {
 			t.Fatalf("%s: reference: %v", k.Name, err)

@@ -159,3 +159,19 @@ func (f *Func) BlockFreq() map[*Block]float64 {
 	}
 	return freq
 }
+
+// BlockFreqs is BlockFreq indexed by Block.Index instead of keyed by
+// pointer — the form the hot compile paths (spill costs, diffenc join
+// placement) consume without a map lookup per block.
+func (f *Func) BlockFreqs() []float64 {
+	freq := make([]float64, len(f.Blocks))
+	depth := f.LoopDepths()
+	for _, b := range f.Blocks {
+		w := 1.0
+		for i := 0; i < depth[b]; i++ {
+			w *= 10
+		}
+		freq[b.Index] = w
+	}
+	return freq
+}

@@ -125,15 +125,43 @@ func (f *Func) NumInstrs() int {
 
 // Clone returns a deep copy of the function (blocks, instructions,
 // edges). Allocators that rewrite code clone first so callers keep the
-// original.
+// original. The copied instructions and their operand slices live in
+// two slabs — one allocation each instead of three per instruction.
+// Operand slices are carved at exact capacity, so a hypothetical
+// append to one would copy out rather than clobber its neighbor; the
+// instruction slab is sized up front and never reallocates, keeping
+// the *Instr pointers stable.
 func (f *Func) Clone() *Func {
 	nf := &Func{Name: f.Name, numRegs: f.numRegs}
 	nf.Params = append([]Reg(nil), f.Params...)
+	nops := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			nops += len(in.Uses) + len(in.Defs)
+		}
+	}
+	slab := make([]Instr, 0, f.NumInstrs())
+	ops := make([]Reg, 0, nops)
 	idx := make(map[*Block]*Block, len(f.Blocks))
 	for _, b := range f.Blocks {
 		nb := nf.NewBlock(b.Name)
-		for _, in := range b.Instrs {
-			nb.Instrs = append(nb.Instrs, in.Clone())
+		nb.Instrs = make([]*Instr, len(b.Instrs))
+		for i, in := range b.Instrs {
+			slab = append(slab, *in)
+			c := &slab[len(slab)-1]
+			// Empty operand lists keep their original (possibly nil)
+			// header so a clone is indistinguishable from a copy.
+			if len(in.Defs) > 0 {
+				o := len(ops)
+				ops = append(ops, in.Defs...)
+				c.Defs = ops[o:len(ops):len(ops)]
+			}
+			if len(in.Uses) > 0 {
+				o := len(ops)
+				ops = append(ops, in.Uses...)
+				c.Uses = ops[o:len(ops):len(ops)]
+			}
+			nb.Instrs[i] = c
 		}
 		idx[b] = nb
 	}

@@ -1,0 +1,42 @@
+package irc
+
+import (
+	"testing"
+
+	"diffra/internal/ir"
+	"diffra/internal/scratch"
+)
+
+// TestPredicatePathDoesNotAllocate pins the fix for the two hot-loop
+// predicates the legacy allocator paid allocations for on every
+// main-loop turn: moveRelated (legacy: materialize nodeMoves into a
+// fresh slice just to test emptiness) and haveWorklistMoves (legacy:
+// rescan all of mstate). Both must now be allocation-free, as must the
+// adjacent() neighbor walk they gate.
+func TestPredicatePathDoesNotAllocate(t *testing.T) {
+	f := ir.MustParse(`
+func f(v0, v1) {
+entry:
+  v2 = mov v0
+  v3 = mov v1
+  v4 = add v2, v3
+  v5 = mov v4
+  v6 = add v5, v0
+  ret v6
+}
+`)
+	ar := new(scratch.Arena)
+	a := newAllocState(f, Options{K: 4, Picker: FirstAvailable}, nil, ar, f.BlockFreqs())
+	sink := false
+	n := testing.AllocsPerRun(100, func() {
+		for v := 0; v < a.n; v++ {
+			sink = a.moveRelated(v) || sink
+			a.adjacent(v, func(int) {})
+		}
+		sink = a.haveWorklistMoves() || sink
+	})
+	_ = sink
+	if n != 0 {
+		t.Fatalf("predicate path allocates: %v allocs/run, want 0", n)
+	}
+}

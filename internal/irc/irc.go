@@ -9,21 +9,35 @@
 // lowest-numbered color; the differential select scheme (paper §6)
 // supplies a picker that minimizes the differential-encoding cost on
 // the adjacency graph.
+//
+// The allocator's inner machinery runs on flat, reusable state carved
+// from a scratch.Arena: bitset worklists with a min-index cursor
+// (exact minKey pop order at O(n/64)), a dense adjacency bit matrix
+// with CSR neighbor lists, move incidence as spliceable linked lists,
+// and a maintained worklist-move set so the main loop never rescans
+// move states. LegacyAllocate in legacy.go keeps the original
+// map-based formulation; the two must produce identical assignments on
+// every input (see the equivalence tests), so every pop here follows
+// the legacy tie-break: lowest node id, lowest move index.
 package irc
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
+	"diffra/internal/bitset"
 	"diffra/internal/ir"
 	"diffra/internal/liveness"
 	"diffra/internal/regalloc"
+	"diffra/internal/scratch"
 	"diffra/internal/telemetry"
 )
 
 // ColorPicker chooses a color for vreg v among the legal okColors
 // (non-empty, ascending). colorOf reports the already-fixed color of
 // any vreg (alias-resolved), or -1 if that vreg has no color yet.
+// okColors is a reused buffer: pickers must not retain it.
 type ColorPicker func(v int, okColors []int, colorOf func(int) int) int
 
 // FirstAvailable is the conventional picker: lowest-numbered color.
@@ -57,12 +71,19 @@ type Options struct {
 	// per-round child spans with simplify/coalesce/freeze/spill counters
 	// under it. Allocate does not End it; the caller owns it.
 	Trace *telemetry.Span
+	// Scratch, when non-nil, supplies the arena the allocator carves
+	// its per-round working state from; Allocate resets it at the start
+	// of every round. Never changes the result — it exists so a warm
+	// service worker reuses one arena across requests. Nil: a private
+	// arena.
+	Scratch *scratch.Arena
 }
 
 // Allocate colors f with opts.K registers, spilling as needed. It
 // returns the rewritten function (a clone of f with spill code and
 // with coalesced moves deleted) and the assignment for every vreg of
-// the returned function.
+// the returned function. Allocate and LegacyAllocate produce identical
+// assignments; only the machinery differs.
 func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) {
 	if opts.K < 2 {
 		return nil, nil, fmt.Errorf("irc: need at least 2 registers, have %d", opts.K)
@@ -74,6 +95,10 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) 
 	if maxRounds == 0 {
 		maxRounds = 32
 	}
+	ar := opts.Scratch
+	if ar == nil {
+		ar = new(scratch.Arena)
+	}
 
 	work := f.Clone()
 	slots := opts.Slots
@@ -82,14 +107,25 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, error) 
 	}
 	unspillable := make(map[ir.Reg]bool)
 	asn := &regalloc.Assignment{K: opts.K, StackParams: map[ir.Reg]int64{}}
+	// Spill rewriting inserts instructions but never adds blocks or
+	// edges, so block frequencies are loop-invariant across rounds.
+	freq := work.BlockFreqs()
 
 	for round := 0; ; round++ {
 		if round >= maxRounds {
 			return nil, nil, fmt.Errorf("irc: no convergence after %d spill rounds (K=%d)", maxRounds, opts.K)
 		}
-		rs := opts.Trace.Child(fmt.Sprintf("round-%d", round))
+		var rs *telemetry.Span
+		if opts.Trace != nil {
+			rs = opts.Trace.Child(fmt.Sprintf("round-%d", round))
+		}
 		opts.Trace.Add("rounds", 1)
-		a := newAllocState(work, opts, rs)
+		// The arena rewinds here: everything the previous round carved
+		// (including its liveness Info and spill costs) is dead by now —
+		// the only state carried across rounds lives on the heap (work,
+		// asn, unspillable, the spilled list).
+		ar.Reset()
+		a := newAllocState(work, opts, rs, ar, freq)
 		if opts.PickerFactory != nil {
 			a.opts.Picker = opts.PickerFactory(work, a.getAlias)
 		}
@@ -164,8 +200,12 @@ func substituteAliases(f *ir.Func, alias func(int) int) {
 	}
 }
 
-// Node/move worklist states.
-type nodeState uint8
+// Node/move worklist states. nodeState is a byte alias so state
+// vectors carve straight from the arena; the two removed states
+// (nsStack, nsCoalesced) are the enum's top values so adjacent() skips
+// them with a single compare. Both this file and legacy.go use only
+// equality on these, so the ordering is free to serve that one test.
+type nodeState = uint8
 
 const (
 	nsInitial nodeState = iota
@@ -173,12 +213,12 @@ const (
 	nsFreeze
 	nsSpill
 	nsSpilled
-	nsCoalesced
 	nsColored
 	nsStack
+	nsCoalesced
 )
 
-type moveState uint8
+type moveState = uint8
 
 const (
 	mvWorklist moveState = iota
@@ -188,28 +228,125 @@ const (
 	mvFrozen
 )
 
+// idxSet is a dense index set that pops its minimum element in
+// O(n/64) with zero allocation: a bitset plus a cursor that lower-
+// bounds the first non-empty word. It reproduces exactly the
+// minKey-over-map pop order of the legacy allocator.
+type idxSet struct {
+	words []uint64
+	cur   int // index of the lowest possibly non-empty word
+	count int
+}
+
+func (s *idxSet) init(ar *scratch.Arena, n int) {
+	s.words = ar.Uint64s((n + 63) / 64)
+	s.cur = len(s.words)
+	s.count = 0
+}
+
+func (s *idxSet) has(i int) bool {
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (s *idxSet) add(i int) {
+	w, b := i>>6, uint64(1)<<uint(i&63)
+	if s.words[w]&b != 0 {
+		return
+	}
+	s.words[w] |= b
+	s.count++
+	if w < s.cur {
+		s.cur = w
+	}
+}
+
+func (s *idxSet) remove(i int) {
+	w, b := i>>6, uint64(1)<<uint(i&63)
+	if s.words[w]&b == 0 {
+		return
+	}
+	s.words[w] &^= b
+	s.count--
+}
+
+// popMin removes and returns the smallest element, or -1 when empty.
+func (s *idxSet) popMin() int {
+	for w := s.cur; w < len(s.words); w++ {
+		if x := s.words[w]; x != 0 {
+			b := bits.TrailingZeros64(x)
+			s.words[w] = x &^ (1 << uint(b))
+			s.count--
+			s.cur = w
+			return w<<6 | b
+		}
+	}
+	s.cur = len(s.words)
+	return -1
+}
+
+// forEach visits the members in ascending order; fn must not mutate
+// the set.
+func (s *idxSet) forEach(fn func(i int)) {
+	for w := s.cur; w < len(s.words); w++ {
+		x := s.words[w]
+		for x != 0 {
+			b := bits.TrailingZeros64(x)
+			fn(w<<6 | b)
+			x &^= 1 << uint(b)
+		}
+	}
+}
+
 type allocState struct {
 	f    *ir.Func
 	opts Options
 	k    int
 	n    int
+	ar   *scratch.Arena
 
-	adjSet   []map[int]bool
-	adjList  [][]int
-	degree   []int
-	state    []nodeState
-	alias    []int
-	color    []int
-	cost     []float64
-	moveList [][]int
+	// Interference: a dense bit matrix (n rows of adjW words) for O(1)
+	// membership, with per-node neighbor lists carved as one CSR flat
+	// array. Edges added during coalescing append past a row's exact
+	// capacity and migrate that row to the heap — rare enough not to
+	// matter.
+	adjBits []uint64
+	adjW    int
+	adjList [][]int
 
-	moves  []*ir.Instr
-	mstate []moveState
+	degree []int
+	state  []nodeState
+	alias  []int
+	color  []int
+	cost   []float64
 
-	simplifyWL map[int]bool
-	freezeWL   map[int]bool
-	spillWL    map[int]bool
-	stack      []int
+	// Moves: mstate per move, plus per-node incidence as linked entry
+	// chains (entMove/entNext indexed by entry, head/tail per node) so
+	// combine() splices v's chain onto u's in O(1), preserving the
+	// legacy append order u-then-v.
+	moves   []*ir.Instr
+	mstate  []moveState
+	entMove []int
+	entNext []int
+	mlHead  []int
+	mlTail  []int
+
+	// Worklists. wlMoves mirrors {m : mstate[m] == mvWorklist}, so
+	// haveWorklistMoves is O(1) instead of a full mstate rescan per
+	// main-loop turn.
+	simplifyWL idxSet
+	freezeWL   idxSet
+	spillWL    idxSet
+	wlMoves    idxSet
+
+	stack []int
+
+	// Reused scratch: freezeMoves snapshot, legal-color buffer,
+	// forbidden flags, and epoch marks for the Briggs test.
+	nmBuf    []int
+	okBuf    []int
+	forbBuf  []bool
+	seenMark []int
+	epoch    int
 
 	trace         *telemetry.Span
 	numCoalesced  int
@@ -218,65 +355,172 @@ type allocState struct {
 	numPotential  int64
 }
 
-func newAllocState(f *ir.Func, opts Options, span *telemetry.Span) *allocState {
+func newAllocState(f *ir.Func, opts Options, span *telemetry.Span, ar *scratch.Arena, freq []float64) *allocState {
 	n := f.NumRegs()
 	a := &allocState{
-		trace:      span,
-		f:          f,
-		opts:       opts,
-		k:          opts.K,
-		n:          n,
-		adjSet:     make([]map[int]bool, n),
-		adjList:    make([][]int, n),
-		degree:     make([]int, n),
-		state:      make([]nodeState, n),
-		alias:      make([]int, n),
-		color:      make([]int, n),
-		moveList:   make([][]int, n),
-		simplifyWL: make(map[int]bool),
-		freezeWL:   make(map[int]bool),
-		spillWL:    make(map[int]bool),
+		trace: span,
+		f:     f,
+		opts:  opts,
+		k:     opts.K,
+		n:     n,
+		ar:    ar,
 	}
+	a.adjW = (n + 63) / 64
+	a.adjBits = ar.Uint64s(n * a.adjW)
+	a.degree = ar.Ints(n)
+	a.state = ar.Bytes(n)
+	a.alias = ar.Ints(n)
+	a.color = ar.Ints(n)
 	for i := 0; i < n; i++ {
-		a.adjSet[i] = make(map[int]bool)
 		a.alias[i] = i
 		a.color[i] = -1
 	}
-	a.cost = liveness.SpillCosts(f)
+	a.seenMark = ar.Ints(n)
+	a.stack = ar.Ints(n)[:0]
+	a.okBuf = ar.Ints(opts.K)[:0]
+	a.forbBuf = ar.Bools(opts.K)
+	a.simplifyWL.init(ar, n)
+	a.freezeWL.init(ar, n)
+	a.spillWL.init(ar, n)
+	a.cost = liveness.SpillCostsWeighted(f, freq, ar)
 	a.build()
 	return a
 }
 
-// build constructs interference edges and move lists from liveness.
+// build constructs interference edges and move lists from liveness,
+// with the same rules and the same move order as regalloc.Build: defs
+// interfere with everything live after the instruction (minus a move's
+// source), multi-defs conflict pairwise, and entry-live registers form
+// a clique. Edges land in the bit matrix first (deduplicating), then
+// one pass per row emits the CSR neighbor lists in ascending order —
+// a neighbor order the main loop is provably insensitive to.
 func (a *allocState) build() {
 	live := a.trace.Child("liveness")
-	info := liveness.ComputeTraced(a.f, live)
+	info := liveness.ComputeScratch(a.f, live, a.ar)
 	live.End()
-	g := regalloc.Build(a.f, info)
-	for u := 0; u < g.N; u++ {
-		for _, v := range g.AdjList[u] {
-			if v > u {
-				a.addEdge(u, v)
+
+	nm := 0
+	for _, b := range a.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.IsMove() {
+				nm++
 			}
 		}
 	}
-	for _, mv := range g.Moves {
-		idx := len(a.moves)
-		a.moves = append(a.moves, mv)
-		a.mstate = append(a.mstate, mvWorklist)
-		a.moveList[mv.Defs[0]] = append(a.moveList[mv.Defs[0]], idx)
-		if mv.Uses[0] != mv.Defs[0] {
-			a.moveList[mv.Uses[0]] = append(a.moveList[mv.Uses[0]], idx)
-		}
+	a.moves = make([]*ir.Instr, 0, nm)
+	a.mstate = a.ar.Bytes(nm) // zeroed: every move starts mvWorklist
+
+	for _, b := range a.f.Blocks {
+		info.LiveAcross(b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
+			if in.IsMove() {
+				a.moves = append(a.moves, in)
+			}
+			for _, d := range in.Defs {
+				liveAfter.ForEach(func(l int) {
+					if in.IsMove() && ir.Reg(l) == in.Uses[0] {
+						return
+					}
+					a.matAdd(int(d), l)
+				})
+				for _, d2 := range in.Defs {
+					a.matAdd(int(d), int(d2))
+				}
+			}
+		})
 	}
+	entryLive := info.LiveIn[a.f.Entry().Index]
+	entryLive.ForEach(func(u int) {
+		entryLive.ForEach(func(v int) {
+			if v > u {
+				a.matAdd(u, v)
+			}
+		})
+	})
+
+	// Freeze the matrix into CSR neighbor lists.
+	total := 0
+	for u := 0; u < a.n; u++ {
+		total += a.degree[u]
+	}
+	flat := a.ar.Ints(total)
+	a.adjList = a.ar.IntSlices(a.n)
+	off := 0
+	for u := 0; u < a.n; u++ {
+		lst := flat[off : off : off+a.degree[u]]
+		row := a.adjBits[u*a.adjW : (u+1)*a.adjW]
+		for wi, w := range row {
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				lst = append(lst, wi<<6|b)
+				w &^= 1 << uint(b)
+			}
+		}
+		a.adjList[u] = lst
+		off += a.degree[u]
+	}
+
+	// Move incidence chains, in the legacy insertion order: per move,
+	// destination first, then source if distinct.
+	a.entMove = a.ar.Ints(2 * nm)[:0]
+	a.entNext = a.ar.Ints(2 * nm)[:0]
+	a.mlHead = a.ar.Ints(a.n)
+	a.mlTail = a.ar.Ints(a.n)
+	for i := 0; i < a.n; i++ {
+		a.mlHead[i] = -1
+		a.mlTail[i] = -1
+	}
+	a.wlMoves.init(a.ar, nm)
+	for idx, mv := range a.moves {
+		a.addIncidence(int(mv.Defs[0]), idx)
+		if mv.Uses[0] != mv.Defs[0] {
+			a.addIncidence(int(mv.Uses[0]), idx)
+		}
+		a.wlMoves.add(idx)
+	}
+	a.nmBuf = a.ar.Ints(2 * nm)[:0]
 }
 
-func (a *allocState) addEdge(u, v int) {
-	if u == v || a.adjSet[u][v] {
+func (a *allocState) addIncidence(v, m int) {
+	e := len(a.entMove)
+	a.entMove = append(a.entMove, m)
+	a.entNext = append(a.entNext, -1)
+	if a.mlHead[v] < 0 {
+		a.mlHead[v] = e
+	} else {
+		a.entNext[a.mlTail[v]] = e
+	}
+	a.mlTail[v] = e
+}
+
+// matAdd records an interference edge in the bit matrix, maintaining
+// degrees; used only during build, before the CSR lists are frozen.
+func (a *allocState) matAdd(u, v int) {
+	if u == v {
 		return
 	}
-	a.adjSet[u][v] = true
-	a.adjSet[v][u] = true
+	wi := u*a.adjW + v>>6
+	b := uint64(1) << uint(v&63)
+	if a.adjBits[wi]&b != 0 {
+		return
+	}
+	a.adjBits[wi] |= b
+	a.adjBits[v*a.adjW+u>>6] |= 1 << uint(u&63)
+	a.degree[u]++
+	a.degree[v]++
+}
+
+func (a *allocState) hasEdge(u, v int) bool {
+	return a.adjBits[u*a.adjW+v>>6]&(1<<uint(v&63)) != 0
+}
+
+// addEdge inserts an edge after build (during coalescing), appending
+// to the frozen CSR rows.
+func (a *allocState) addEdge(u, v int) {
+	if u == v || a.hasEdge(u, v) {
+		return
+	}
+	a.adjBits[u*a.adjW+v>>6] |= 1 << uint(v&63)
+	a.adjBits[v*a.adjW+u>>6] |= 1 << uint(u&63)
 	a.adjList[u] = append(a.adjList[u], v)
 	a.adjList[v] = append(a.adjList[v], u)
 	a.degree[u]++
@@ -289,13 +533,13 @@ func (a *allocState) run() []int {
 	a.makeWorklist()
 	for {
 		switch {
-		case len(a.simplifyWL) > 0:
+		case a.simplifyWL.count > 0:
 			a.simplify()
 		case a.haveWorklistMoves():
 			a.coalesce()
-		case len(a.freezeWL) > 0:
+		case a.freezeWL.count > 0:
 			a.freeze()
-		case len(a.spillWL) > 0:
+		case a.spillWL.count > 0:
 			a.selectSpill()
 		default:
 			return a.assignColors()
@@ -308,63 +552,48 @@ func (a *allocState) makeWorklist() {
 		switch {
 		case a.degree[v] >= a.k:
 			a.state[v] = nsSpill
-			a.spillWL[v] = true
+			a.spillWL.add(v)
 		case a.moveRelated(v):
 			a.state[v] = nsFreeze
-			a.freezeWL[v] = true
+			a.freezeWL.add(v)
 		default:
 			a.state[v] = nsSimplify
-			a.simplifyWL[v] = true
+			a.simplifyWL.add(v)
 		}
 	}
 }
 
-func (a *allocState) nodeMoves(v int) []int {
-	var out []int
-	for _, m := range a.moveList[v] {
-		if a.mstate[m] == mvActive || a.mstate[m] == mvWorklist {
-			out = append(out, m)
-		}
-	}
-	return out
-}
-
-func (a *allocState) moveRelated(v int) bool { return len(a.nodeMoves(v)) > 0 }
-
-func (a *allocState) haveWorklistMoves() bool {
-	for _, s := range a.mstate {
-		if s == mvWorklist {
+// moveRelated reports whether v has an active or worklist move — the
+// predicate the legacy code answered by materializing nodeMoves into a
+// fresh slice. This walk allocates nothing.
+func (a *allocState) moveRelated(v int) bool {
+	for e := a.mlHead[v]; e >= 0; e = a.entNext[e] {
+		if st := a.mstate[a.entMove[e]]; st == mvActive || st == mvWorklist {
 			return true
 		}
 	}
 	return false
 }
 
-// adjacent yields current neighbors: adjList minus stack/coalesced.
+// haveWorklistMoves is O(1): wlMoves tracks exactly the moves in
+// mvWorklist state, where the legacy code rescanned all of mstate on
+// every main-loop turn (quadratic in moves).
+func (a *allocState) haveWorklistMoves() bool { return a.wlMoves.count > 0 }
+
+// adjacent yields current neighbors: adjList minus stack/coalesced —
+// one compare per neighbor thanks to the state ordering.
 func (a *allocState) adjacent(v int, fn func(int)) {
+	st := a.state
 	for _, w := range a.adjList[v] {
-		if a.state[w] != nsStack && a.state[w] != nsCoalesced {
+		if st[w] < nsStack {
 			fn(w)
 		}
 	}
 }
 
-// minKey returns the smallest node id in a worklist, keeping the
-// allocator fully deterministic despite map-based worklists.
-func minKey(m map[int]bool) int {
-	best := -1
-	for v := range m {
-		if best < 0 || v < best {
-			best = v
-		}
-	}
-	return best
-}
-
 func (a *allocState) simplify() {
-	v := minKey(a.simplifyWL)
+	v := a.simplifyWL.popMin()
 	a.numSimplified++
-	delete(a.simplifyWL, v)
 	a.state[v] = nsStack
 	a.stack = append(a.stack, v)
 	a.adjacent(v, a.decrementDegree)
@@ -378,22 +607,24 @@ func (a *allocState) decrementDegree(w int) {
 		a.enableMoves(w)
 		a.adjacent(w, a.enableMoves)
 		if a.state[w] == nsSpill {
-			delete(a.spillWL, w)
+			a.spillWL.remove(w)
 			if a.moveRelated(w) {
 				a.state[w] = nsFreeze
-				a.freezeWL[w] = true
+				a.freezeWL.add(w)
 			} else {
 				a.state[w] = nsSimplify
-				a.simplifyWL[w] = true
+				a.simplifyWL.add(w)
 			}
 		}
 	}
 }
 
 func (a *allocState) enableMoves(v int) {
-	for _, m := range a.moveList[v] {
+	for e := a.mlHead[v]; e >= 0; e = a.entNext[e] {
+		m := a.entMove[e]
 		if a.mstate[m] == mvActive {
 			a.mstate[m] = mvWorklist
+			a.wlMoves.add(m)
 		}
 	}
 }
@@ -407,24 +638,26 @@ func (a *allocState) getAlias(v int) int {
 
 func (a *allocState) addWorkList(v int) {
 	if !a.moveRelated(v) && a.degree[v] < a.k {
-		delete(a.freezeWL, v)
+		a.freezeWL.remove(v)
 		a.state[v] = nsSimplify
-		a.simplifyWL[v] = true
+		a.simplifyWL.add(v)
 	}
 }
 
 // conservative is the Briggs test: coalescing is safe if the combined
-// node has fewer than K neighbors of significant degree.
+// node has fewer than K neighbors of significant degree. Dedup is an
+// epoch mark per node instead of the legacy's per-call map.
 func (a *allocState) conservative(u, v int) bool {
-	seen := make(map[int]bool)
+	a.epoch++
+	epoch := a.epoch
 	cnt := 0
 	count := func(w int) {
-		if seen[w] {
+		if a.seenMark[w] == epoch {
 			return
 		}
-		seen[w] = true
+		a.seenMark[w] = epoch
 		d := a.degree[w]
-		if a.adjSet[u][w] && a.adjSet[v][w] {
+		if a.hasEdge(u, w) && a.hasEdge(v, w) {
 			d-- // shared neighbor loses one edge after the merge
 		}
 		if d >= a.k {
@@ -437,13 +670,7 @@ func (a *allocState) conservative(u, v int) bool {
 }
 
 func (a *allocState) coalesce() {
-	var m = -1
-	for i, s := range a.mstate {
-		if s == mvWorklist {
-			m = i
-			break
-		}
-	}
+	m := a.wlMoves.popMin() // the lowest move index, like the legacy scan
 	if m < 0 {
 		return
 	}
@@ -456,7 +683,7 @@ func (a *allocState) coalesce() {
 		a.mstate[m] = mvCoalesced
 		a.numCoalesced++
 		a.addWorkList(u)
-	case a.adjSet[u][v]:
+	case a.hasEdge(u, v):
 		a.mstate[m] = mvConstrained
 		a.addWorkList(u)
 		a.addWorkList(v)
@@ -471,38 +698,59 @@ func (a *allocState) coalesce() {
 }
 
 func (a *allocState) combine(u, v int) {
-	if a.freezeWL[v] {
-		delete(a.freezeWL, v)
+	if a.freezeWL.has(v) {
+		a.freezeWL.remove(v)
 	} else {
-		delete(a.spillWL, v)
+		a.spillWL.remove(v)
 	}
 	a.state[v] = nsCoalesced
 	a.alias[v] = u
-	a.moveList[u] = append(a.moveList[u], a.moveList[v]...)
+	// Splice v's move chain onto u's: u's entries first, then v's —
+	// the same order the legacy append produced. v keeps its head (it
+	// is never merged again), so enableMoves(v) still walks exactly
+	// v's own entries.
+	if a.mlHead[v] >= 0 {
+		if a.mlHead[u] < 0 {
+			a.mlHead[u] = a.mlHead[v]
+		} else {
+			a.entNext[a.mlTail[u]] = a.mlHead[v]
+		}
+		a.mlTail[u] = a.mlTail[v]
+	}
 	a.enableMoves(v)
 	a.cost[u] += a.cost[v]
 	a.adjacent(v, func(t int) {
 		a.addEdge(t, u)
 		a.decrementDegree(t)
 	})
-	if a.degree[u] >= a.k && a.freezeWL[u] {
-		delete(a.freezeWL, u)
+	if a.degree[u] >= a.k && a.freezeWL.has(u) {
+		a.freezeWL.remove(u)
 		a.state[u] = nsSpill
-		a.spillWL[u] = true
+		a.spillWL.add(u)
 	}
 }
 
 func (a *allocState) freeze() {
-	v := minKey(a.freezeWL)
+	v := a.freezeWL.popMin()
 	a.numFrozen++
-	delete(a.freezeWL, v)
 	a.state[v] = nsSimplify
-	a.simplifyWL[v] = true
+	a.simplifyWL.add(v)
 	a.freezeMoves(v)
 }
 
 func (a *allocState) freezeMoves(u int) {
-	for _, m := range a.nodeMoves(u) {
+	// Snapshot u's active/worklist moves first, exactly like the
+	// legacy nodeMoves slice: the body mutates move states, and a
+	// duplicate entry (u merged from both endpoints of one move) must
+	// still be visited twice.
+	buf := a.nmBuf[:0]
+	for e := a.mlHead[u]; e >= 0; e = a.entNext[e] {
+		m := a.entMove[e]
+		if st := a.mstate[m]; st == mvActive || st == mvWorklist {
+			buf = append(buf, m)
+		}
+	}
+	for _, m := range buf {
 		mv := a.moves[m]
 		x := a.getAlias(int(mv.Defs[0]))
 		y := a.getAlias(int(mv.Uses[0]))
@@ -512,50 +760,59 @@ func (a *allocState) freezeMoves(u int) {
 		} else {
 			w = y
 		}
+		if a.mstate[m] == mvWorklist {
+			a.wlMoves.remove(m)
+		}
 		a.mstate[m] = mvFrozen
-		if len(a.nodeMoves(w)) == 0 && a.degree[w] < a.k && a.state[w] == nsFreeze {
-			delete(a.freezeWL, w)
+		if !a.moveRelated(w) && a.degree[w] < a.k && a.state[w] == nsFreeze {
+			a.freezeWL.remove(w)
 			a.state[w] = nsSimplify
-			a.simplifyWL[w] = true
+			a.simplifyWL.add(w)
 		}
 	}
 }
 
 // selectSpill picks the spill-worklist node with minimal cost/degree,
-// the classic heuristic; spill temporaries carry infinite cost.
+// the classic heuristic; spill temporaries carry infinite cost. The
+// ascending scan makes the lowest id win score ties, matching minKey.
 func (a *allocState) selectSpill() {
 	a.numPotential++
 	best, bestScore := -1, math.Inf(1)
-	for v := range a.spillWL {
+	a.spillWL.forEach(func(v int) {
 		score := a.cost[v] / float64(a.degree[v]+1)
-		if score < bestScore || (score == bestScore && (best == -1 || v < best)) {
+		if score < bestScore {
 			best, bestScore = v, score
 		}
-	}
-	delete(a.spillWL, best)
+	})
+	a.spillWL.remove(best)
 	a.state[best] = nsSimplify
-	a.simplifyWL[best] = true
+	a.simplifyWL.add(best)
 	a.freezeMoves(best)
 }
 
 // assignColors pops the select stack, computing legal colors per node
-// and delegating the choice to the configured picker.
+// and delegating the choice to the configured picker. The forbidden
+// set is a reused K-sized flag buffer; the ok list a reused K-cap
+// slice (pickers must not retain it).
 func (a *allocState) assignColors() []int {
 	var spilled []int
 	colorOf := func(v int) int { return a.color[a.getAlias(v)] }
+	forb := a.forbBuf
 	for len(a.stack) > 0 {
 		v := a.stack[len(a.stack)-1]
 		a.stack = a.stack[:len(a.stack)-1]
-		forbidden := make(map[int]bool)
+		for c := range forb {
+			forb[c] = false
+		}
 		for _, w := range a.adjList[v] {
 			wr := a.getAlias(w)
 			if a.state[wr] == nsColored {
-				forbidden[a.color[wr]] = true
+				forb[a.color[wr]] = true
 			}
 		}
-		var ok []int
+		ok := a.okBuf[:0]
 		for c := 0; c < a.k; c++ {
-			if !forbidden[c] {
+			if !forb[c] {
 				ok = append(ok, c)
 			}
 		}

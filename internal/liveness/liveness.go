@@ -8,10 +8,14 @@ package liveness
 import (
 	"diffra/internal/bitset"
 	"diffra/internal/ir"
+	"diffra/internal/scratch"
 	"diffra/internal/telemetry"
 )
 
-// Info holds the results of liveness analysis for one function.
+// Info holds the results of liveness analysis for one function. An
+// Info (and its sets, which may be arena-backed) belongs to one
+// compile on one goroutine; its methods are not safe for concurrent
+// use.
 type Info struct {
 	F *ir.Func
 	// LiveIn[b] / LiveOut[b] index by ir.Block.Index.
@@ -20,34 +24,43 @@ type Info struct {
 	// UEVar and VarKill per block (upward-exposed uses, kills).
 	uevar []*bitset.Set
 	kill  []*bitset.Set
+	// tmp is the reusable walk set LiveAcross hands to its visitor.
+	tmp *bitset.Set
 }
 
 // Compute runs the analysis.
 func Compute(f *ir.Func) *Info {
-	return ComputeTraced(f, nil)
+	return ComputeScratch(f, nil, nil)
 }
 
-// ComputeTraced is Compute under a telemetry span: it records the
-// dataflow iteration count and the resulting live-set sizes on span.
-// A nil span costs nothing, and the recorded stats are all O(blocks)
-// reads of state the fixpoint already built — capture is always on in
-// the service, so this path must never do instruction-granular work
-// (MaxPressure stays available for offline diagnosis).
+// ComputeTraced is Compute under a telemetry span; see ComputeScratch.
 func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
+	return ComputeScratch(f, span, nil)
+}
+
+// ComputeScratch is Compute with its working and result sets carved
+// from ar (nil: a private arena, equivalent to Compute). The returned
+// Info aliases arena memory: it is valid until the arena owner's next
+// Reset, which in practice means "for the rest of the current compile
+// phase". span, when non-nil, records the dataflow iteration count and
+// the resulting live-set sizes. A nil span costs nothing, and the
+// recorded stats are all O(blocks) reads of state the fixpoint already
+// built — capture is always on in the service, so this path must never
+// do instruction-granular work (MaxPressure stays available for
+// offline diagnosis).
+func ComputeScratch(f *ir.Func, span *telemetry.Span, ar *scratch.Arena) *Info {
+	if ar == nil {
+		ar = new(scratch.Arena)
+	}
 	n := len(f.Blocks)
+	nr := f.NumRegs()
 	info := &Info{
 		F:       f,
-		LiveIn:  make([]*bitset.Set, n),
-		LiveOut: make([]*bitset.Set, n),
-		uevar:   make([]*bitset.Set, n),
-		kill:    make([]*bitset.Set, n),
-	}
-	nr := f.NumRegs()
-	for i := range f.Blocks {
-		info.LiveIn[i] = bitset.New(nr)
-		info.LiveOut[i] = bitset.New(nr)
-		info.uevar[i] = bitset.New(nr)
-		info.kill[i] = bitset.New(nr)
+		LiveIn:  ar.Bitsets(n, nr),
+		LiveOut: ar.Bitsets(n, nr),
+		uevar:   ar.Bitsets(n, nr),
+		kill:    ar.Bitsets(n, nr),
+		tmp:     ar.Bitset(nr),
 	}
 
 	// Local sets: a use is upward-exposed if not killed earlier in the
@@ -66,8 +79,12 @@ func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 		}
 	}
 
-	// Backward fixpoint over postorder (reverse of RPO).
+	// Backward fixpoint over postorder (reverse of RPO). LiveIn is
+	// mutated in place through one scratch set instead of a fresh
+	// Copy per block per iteration: the transfer result lands in tmp,
+	// and only a changed block copies it back.
 	rpo := f.ReversePostorder()
+	tmp := ar.Bitset(nr)
 	iters := 0
 	for changed := true; changed; {
 		changed = false
@@ -80,11 +97,11 @@ func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 					changed = true
 				}
 			}
-			newIn := out.Copy()
-			newIn.DiffWith(info.kill[b.Index])
-			newIn.UnionWith(info.uevar[b.Index])
-			if !newIn.Equal(info.LiveIn[b.Index]) {
-				info.LiveIn[b.Index] = newIn
+			tmp.CopyFrom(out)
+			tmp.DiffWith(info.kill[b.Index])
+			tmp.UnionWith(info.uevar[b.Index])
+			if !tmp.Equal(info.LiveIn[b.Index]) {
+				info.LiveIn[b.Index].CopyFrom(tmp)
 				changed = true
 			}
 		}
@@ -113,9 +130,11 @@ func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 
 // LiveAcross walks block b backwards and calls visit for each
 // instruction with the set of registers live immediately *after* it.
-// The set is reused between calls; visit must not retain it.
+// The set is one reusable scratch set shared by every LiveAcross call
+// on this Info; visit must not retain it.
 func (info *Info) LiveAcross(b *ir.Block, visit func(idx int, in *ir.Instr, liveAfter *bitset.Set)) {
-	live := info.LiveOut[b.Index].Copy()
+	live := info.tmp
+	live.CopyFrom(info.LiveOut[b.Index])
 	for i := len(b.Instrs) - 1; i >= 0; i-- {
 		in := b.Instrs[i]
 		visit(i, in, live)
@@ -135,8 +154,17 @@ func (info *Info) LiveAcross(b *ir.Block, visit func(idx int, in *ir.Instr, live
 // the pipeline model) must skip dead parameters — an allocator may
 // legally give a dead parameter the same machine register as a live
 // one, since a value nobody reads interferes with nothing.
+//
+// The free function computes liveness from scratch; callers already
+// holding an *Info use the method and pay nothing.
 func LiveParams(f *ir.Func) []bool {
-	info := Compute(f)
+	return Compute(f).LiveParams()
+}
+
+// LiveParams reads the entry block's live-in set of an
+// already-computed Info without re-running the analysis.
+func (info *Info) LiveParams() []bool {
+	f := info.F
 	in := info.LiveIn[f.Entry().Index]
 	out := make([]bool, len(f.Params))
 	for i, p := range f.Params {
@@ -168,10 +196,28 @@ func (info *Info) MaxPressure() int {
 // a register inserts a load per use and a store per def, so cost is
 // proportional to weighted occurrence count.
 func SpillCosts(f *ir.Func) []float64 {
-	costs := make([]float64, f.NumRegs())
-	freq := f.BlockFreq()
+	return SpillCostsScratch(f, nil)
+}
+
+// SpillCostsScratch is SpillCosts with the result carved from ar
+// (nil: heap). The slice is valid until the arena's next Reset.
+func SpillCostsScratch(f *ir.Func, ar *scratch.Arena) []float64 {
+	return SpillCostsWeighted(f, f.BlockFreqs(), ar)
+}
+
+// SpillCostsWeighted is SpillCostsScratch with caller-supplied block
+// frequencies (indexed by Block.Index). Spill rewriting inserts
+// instructions but never changes the CFG, so a multi-round allocator
+// computes frequencies once and reuses them every round.
+func SpillCostsWeighted(f *ir.Func, freq []float64, ar *scratch.Arena) []float64 {
+	var costs []float64
+	if ar != nil {
+		costs = ar.Float64s(f.NumRegs())
+	} else {
+		costs = make([]float64, f.NumRegs())
+	}
 	for _, b := range f.Blocks {
-		w := freq[b]
+		w := freq[b.Index]
 		for _, in := range b.Instrs {
 			for _, u := range in.Uses {
 				costs[u] += w

@@ -40,33 +40,34 @@ func RewriteSpills(f *ir.Func, spilled map[ir.Reg]bool, slots *SlotAssigner) (or
 	for _, b := range f.Blocks {
 		out := make([]*ir.Instr, 0, len(b.Instrs))
 		for _, in := range b.Instrs {
-			var loads, stores []*ir.Instr
+			// Loads go straight into the output ahead of the
+			// instruction, stores right after it — same order the old
+			// loads/stores staging slices produced, without them.
 			for i, u := range in.Uses {
 				if !spilled[u] {
 					continue
 				}
 				t := f.NewReg()
 				origin[t] = u
-				loads = append(loads, &ir.Instr{
+				out = append(out, &ir.Instr{
 					Op: ir.OpSpillLoad, Defs: []ir.Reg{t}, Imm: slots.SlotOf(u), Imm2: -1,
 				})
 				in.Uses[i] = t
+				inserted++
 			}
+			out = append(out, in)
 			for i, d := range in.Defs {
 				if !spilled[d] {
 					continue
 				}
 				t := f.NewReg()
 				origin[t] = d
-				stores = append(stores, &ir.Instr{
+				out = append(out, &ir.Instr{
 					Op: ir.OpSpillStore, Uses: []ir.Reg{t}, Imm: slots.SlotOf(d), Imm2: -1,
 				})
 				in.Defs[i] = t
+				inserted++
 			}
-			out = append(out, loads...)
-			out = append(out, in)
-			out = append(out, stores...)
-			inserted += len(loads) + len(stores)
 		}
 		b.Instrs = out
 	}

@@ -27,6 +27,7 @@ import (
 	"diffra/internal/diffenc"
 	"diffra/internal/difftest"
 	"diffra/internal/ir"
+	"diffra/internal/scratch"
 	"diffra/internal/telemetry"
 )
 
@@ -214,6 +215,13 @@ type Server struct {
 	traces   *traceBuffer // nil: capture disabled
 	bridge   *telemetry.MetricsSink
 
+	// arenas is a free list of per-worker scratch arenas, sized to the
+	// pool: a compile checks one out for its duration (so at most
+	// Workers() are ever live at once) and returns it reset. Steady
+	// state, every compile runs on warmed memory and the allocator/
+	// encoder hot loops allocate nothing.
+	arenas chan *scratch.Arena
+
 	accessMu    sync.Mutex
 	accessBuf   *bufio.Writer
 	accessEnc   *json.Encoder
@@ -240,6 +248,7 @@ func New(cfg Config) (*Server, error) {
 		reg:     cfg.Registry,
 		started: time.Now(),
 	}
+	s.arenas = make(chan *scratch.Arena, s.pool.Workers())
 	if cfg.TraceBuffer > 0 {
 		s.traces = newTraceBuffer(cfg.TraceBuffer, cfg.TraceSlowKeep, cfg.TraceErrKeep)
 		s.bridge = &telemetry.MetricsSink{Reg: s.reg}
@@ -534,6 +543,25 @@ func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, r
 		opts.Telemetry = telemetry.New(telemetry.MultiSink{capture, s.bridge})
 		defer func() { rec.root = capture.Last() }()
 	}
+	// Check a scratch arena out of the free list for the compile's
+	// duration; first use on a cold slot mints one. The arena is reset
+	// before it goes back so a request never observes another request's
+	// data, and because compile() always holds a pool slot, at most
+	// Workers() arenas exist.
+	var ar *scratch.Arena
+	select {
+	case ar = <-s.arenas:
+	default:
+		ar = new(scratch.Arena)
+	}
+	opts.Scratch = ar
+	defer func() {
+		ar.Reset()
+		select {
+		case s.arenas <- ar:
+		default:
+		}
+	}()
 	res, err := diffra.CompileFuncContext(ctx, f, opts)
 	if err != nil {
 		return errResponse(err)

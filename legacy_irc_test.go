@@ -1,0 +1,69 @@
+package diffra_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"diffra/internal/diffsel"
+	"diffra/internal/irc"
+	"diffra/internal/scratch"
+	"diffra/internal/workloads"
+)
+
+// TestAllocateMatchesLegacy proves the flat-state allocator is the
+// same algorithm as the retained map-based one: identical rewritten
+// code, identical colors, identical spill and coalesce counts, on
+// every kernel, for both pickers (conventional first-available and
+// differential select), across the register-pressure sweep. The flat
+// engine replaced maps with index structures and made neighbor
+// iteration ascending; every such reordering is either provably
+// order-independent or replicates the legacy tie-break (lowest node
+// id, lowest move index), so any divergence here is a bug.
+func TestAllocateMatchesLegacy(t *testing.T) {
+	pickers := []struct {
+		name    string
+		picker  irc.ColorPicker
+		factory func(k int) irc.PickerFactory
+	}{
+		{name: "first-available", picker: irc.FirstAvailable},
+		{name: "diffsel", factory: func(k int) irc.PickerFactory {
+			return diffsel.NewFactory(diffsel.Params{RegN: k, DiffN: 8})
+		}},
+	}
+	ar := new(scratch.Arena) // shared across the whole grid, like a warm worker
+	for _, k := range workloads.Kernels() {
+		for _, regN := range []int{4, 6, 8, 12, 16} {
+			for _, p := range pickers {
+				name := fmt.Sprintf("%s/K%d/%s", k.Name, regN, p.name)
+				opts := irc.Options{K: regN, Picker: p.picker}
+				if p.factory != nil {
+					opts.PickerFactory = p.factory(regN)
+				}
+				legacyOut, legacyAsn, legacyErr := irc.LegacyAllocate(k.F, opts)
+				opts.Scratch = ar
+				flatOut, flatAsn, flatErr := irc.Allocate(k.F, opts)
+				if (legacyErr == nil) != (flatErr == nil) {
+					t.Fatalf("%s: error mismatch: legacy=%v flat=%v", name, legacyErr, flatErr)
+				}
+				if legacyErr != nil {
+					continue
+				}
+				if got, want := flatOut.String(), legacyOut.String(); got != want {
+					t.Fatalf("%s: rewritten code differs:\nflat:\n%s\nlegacy:\n%s", name, got, want)
+				}
+				if !reflect.DeepEqual(flatAsn.Color, legacyAsn.Color) {
+					t.Fatalf("%s: colors differ:\nflat:   %v\nlegacy: %v", name, flatAsn.Color, legacyAsn.Color)
+				}
+				if flatAsn.SpilledVRegs != legacyAsn.SpilledVRegs ||
+					flatAsn.SpillInstrs != legacyAsn.SpillInstrs ||
+					flatAsn.CoalescedMoves != legacyAsn.CoalescedMoves {
+					t.Fatalf("%s: stats differ: flat=%+v legacy=%+v", name, flatAsn, legacyAsn)
+				}
+				if !reflect.DeepEqual(flatAsn.StackParams, legacyAsn.StackParams) {
+					t.Fatalf("%s: stack params differ: flat=%v legacy=%v", name, flatAsn.StackParams, legacyAsn.StackParams)
+				}
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"diffra/internal/ir"
 	"diffra/internal/irc"
 	"diffra/internal/scratch"
+	"diffra/internal/ssaalloc"
 	"diffra/internal/workloads"
 )
 
@@ -21,6 +22,7 @@ import (
 // absorbs arena warm-up.
 const (
 	ircAllocateBudget = 200  // measured ~137 (susan, K=8)
+	ssaAllocateBudget = 8    // measured 3 (susan, K=32, spill-free scan)
 	diffEncodeBudget  = 80   // measured ~26 (sha, RegN=12, DiffN=8)
 	compileFuncBudget = 1100 // measured ~864 (crc32, remapping, 8 restarts)
 )
@@ -39,6 +41,21 @@ func TestAllocBudgetIRCAllocate(t *testing.T) {
 	ar := new(scratch.Arena)
 	assertAllocBudget(t, "IRCAllocate/susan", ircAllocateBudget, func() {
 		if _, _, err := irc.Allocate(k.F, irc.Options{K: 8, Scratch: ar}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocBudgetSSAAllocate pins the fast path's defining property:
+// when no program point exceeds K, the dominance-order scan runs on
+// flat arena state and a warm worker pays single-digit allocations
+// per function. This is the budget the deadline ladder's "ssa always
+// fits" assumption rests on, so the headroom is deliberately thin.
+func TestAllocBudgetSSAAllocate(t *testing.T) {
+	k := workloads.KernelByName("susan")
+	ar := new(scratch.Arena)
+	assertAllocBudget(t, "SSAAllocate/susan", ssaAllocateBudget, func() {
+		if _, _, err := ssaalloc.Allocate(k.F, ssaalloc.Options{K: 32, Scratch: ar}); err != nil {
 			t.Fatal(err)
 		}
 	})

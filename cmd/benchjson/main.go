@@ -1,11 +1,12 @@
 // Command benchjson persists the compiler's performance trajectory:
 // it runs micro-benchmarks in-process (via testing.Benchmark, so the
 // numbers match `go test -bench`) and writes them to a JSON file with
-// enough host context to interpret them later. Three suites exist:
+// enough host context to interpret them later. Four suites exist:
 //
 //	go run ./cmd/benchjson -suite remap    -o BENCH_remap.json
 //	go run ./cmd/benchjson -suite ilp      -o BENCH_ilp.json
 //	go run ./cmd/benchjson -suite pipeline -o BENCH_pipeline.json
+//	go run ./cmd/benchjson -suite alloc    -o BENCH_alloc.json
 //
 // The remap suite covers the remap-search, encoding and allocator hot
 // paths; the ilp suite covers the exact-spilling branch-and-bound
@@ -14,9 +15,16 @@
 // the end-to-end CompileFunc baseline over the §8 MiBench kernels,
 // measured twice — telemetry off (nil tracer, the compiled-out path)
 // and with the service's always-on capture attached — so the
-// instrumentation overhead is a number in the report, not a guess.
-// The checked-in BENCH_remap.json, BENCH_ilp.json and
-// BENCH_pipeline.json at the repository root are the baselines;
+// instrumentation overhead is a number in the report, not a guess;
+// the alloc suite races the portfolio's two general-purpose backends
+// — the SSA fast-path scan against iterated register coalescing — on
+// every kernel at the wide K=32 register file, recording a per-kernel
+// speedup column and the geometric-mean headline that backs the
+// documented "at least 5× lower latency" claim (-min-ssa-speedup
+// turns that claim into an exit code for CI).
+// The checked-in BENCH_remap.json, BENCH_ilp.json,
+// BENCH_pipeline.json and BENCH_alloc.json at the repository root are
+// the baselines;
 // compare the ns/op, evals/sec, nodes/sec and allocs/op columns
 // against the previous revision before accepting a change to either
 // hot path. -benchtime forwards to the harness (e.g. 100x, 2s) when a
@@ -36,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -50,6 +59,7 @@ import (
 	"diffra/internal/ospill"
 	"diffra/internal/remap"
 	"diffra/internal/scratch"
+	"diffra/internal/ssaalloc"
 	"diffra/internal/telemetry"
 	"diffra/internal/workloads"
 )
@@ -128,6 +138,15 @@ type report struct {
 	// The acceptance bound is 3%; negative values are measurement
 	// noise. (Pipeline suite only.)
 	InstrumentationOverheadPct float64 `json:"instrumentation_overhead_pct,omitempty"`
+
+	// AllocSpeedups is IRC ns/op over SSA-scan ns/op per kernel, and
+	// SpeedupSSAGeomean their geometric mean — the latency multiple the
+	// deadline ladder banks on when it steps a request down to the scan.
+	// Per-kernel ratios are paired (the two lanes run back-to-back per
+	// kernel) so shared-box drift largely cancels; the geomean keeps one
+	// outlier kernel from dominating the headline. (Alloc suite only.)
+	AllocSpeedups     map[string]float64 `json:"alloc_speedups,omitempty"`
+	SpeedupSSAGeomean float64            `json:"speedup_ssa_geomean,omitempty"`
 }
 
 // remapWorkload rebuilds the BenchmarkRemapGreedy setup from the root
@@ -163,12 +182,13 @@ func run(name string, fn func(b *testing.B)) result {
 
 func main() {
 	testing.Init()
-	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp|pipeline")
+	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp|pipeline|alloc")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.String("benchtime", "", "per-benchmark run time or count (e.g. 2s, 100x; default 1s)")
 	maxprocs := flag.Int("gomaxprocs", 0, "run suites under this GOMAXPROCS (0 = inherit); recorded in the host block so parallel-worker speedups are attributable")
 	baseline := flag.String("baseline", "", "baseline report to gate against: exit non-zero if any shared lane's allocs/op regressed (the CI alloc guard)")
 	maxRegress := flag.Float64("max-alloc-regress-pct", 10, "allowed allocs/op growth over -baseline, in percent")
+	minSSASpeedup := flag.Float64("min-ssa-speedup", 0, "exit non-zero if the alloc suite's speedup_ssa_geomean falls below this (0 = no gate)")
 	flag.Parse()
 	if *out == "" {
 		*out = "BENCH_" + *suite + ".json"
@@ -198,8 +218,10 @@ func main() {
 		runILPSuite(&rep)
 	case "pipeline":
 		runPipelineSuite(&rep)
+	case "alloc":
+		runAllocSuite(&rep)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap, ilp or pipeline)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap, ilp, pipeline or alloc)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -224,6 +246,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+	}
+	if *minSSASpeedup > 0 && rep.SpeedupSSAGeomean < *minSSASpeedup {
+		fmt.Fprintf(os.Stderr, "benchjson: speedup_ssa_geomean %.2f below the %.2f floor\n",
+			rep.SpeedupSSAGeomean, *minSSASpeedup)
+		os.Exit(1)
 	}
 }
 
@@ -549,4 +576,60 @@ func runPipelineSuite(rep *report) {
 			rep.StageShares[name] = d / rootDur
 		}
 	}
+}
+
+// allocK is the alloc suite's register-file width. K=32 keeps every
+// §8 kernel spill-free, which is the comparison that matters: once
+// both backends spill they share RewriteSpills and the gap collapses
+// to the rewrite cost, but the deadline ladder steps down precisely
+// when allocation itself — not spill insertion — is the budget risk.
+const allocK = 32
+
+// runAllocSuite races ssaalloc.Allocate against irc.Allocate on every
+// §8 kernel, back-to-back per kernel so shared-box drift hits both
+// lanes of a ratio. Both lanes run on pre-warmed private arenas, the
+// daemon worker's steady state; the SSA lane's allocs/op column is
+// the same number the root TestAllocBudget pins.
+func runAllocSuite(rep *report) {
+	kernels := workloads.Kernels()
+	ssaAr, ircAr := new(scratch.Arena), new(scratch.Arena)
+	for _, k := range kernels {
+		if _, _, err := ssaalloc.Allocate(k.F, ssaalloc.Options{K: allocK, Scratch: ssaAr}); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if _, _, err := irc.Allocate(k.F, irc.Options{K: allocK, Scratch: ircAr}); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	rep.AllocSpeedups = map[string]float64{}
+	logSum := 0.0
+	for _, k := range kernels {
+		k := k
+		ssa := run("AllocSSA/"+k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ssaalloc.Allocate(k.F, ssaalloc.Options{K: allocK, Scratch: ssaAr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ircRow := run("AllocIRC/"+k.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := irc.Allocate(k.F, irc.Options{K: allocK, Scratch: ircAr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, ssa, ircRow)
+		speedup := ircRow.NsPerOp / ssa.NsPerOp
+		rep.AllocSpeedups[k.Name] = speedup
+		logSum += math.Log(speedup)
+		fmt.Fprintf(os.Stderr, "%-28s %6.2fx\n", "speedup/"+k.Name, speedup)
+	}
+	rep.SpeedupSSAGeomean = math.Exp(logSum / float64(len(kernels)))
+	fmt.Fprintf(os.Stderr, "ssa-over-irc speedup (geomean): %.2fx\n", rep.SpeedupSSAGeomean)
 }

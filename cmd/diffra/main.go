@@ -7,10 +7,17 @@
 //	diffra -scheme baseline -regn 8 -dump program.ir
 //	diffra -scheme coalesce -trace trace.json -explain-slr program.ir
 //	diffra -addr localhost:8791 -scheme ospill program.ir
+//	diffra -addr localhost:8791 -alloc auto -timeout-ms 50 program.ir
 //
 // With -addr the compilation is shipped to a running diffrad server
 // (see cmd/diffrad) instead of happening in-process; -timeout-ms
 // bounds the remote compile.
+//
+// -alloc picks the allocation backend independently of the scheme:
+// irc (iterated register coalescing), ssa (the near-linear chordal
+// scan), ospill (exact spilling), or auto, which steps down from the
+// scheme's preferred backend to cheaper ones as the request deadline
+// nears. Empty keeps the scheme's preferred backend.
 //
 // Schemes: baseline (iterated register coalescing, direct encoding),
 // remapping (§5), select (§6), ospill (optimal spilling, direct),
@@ -55,6 +62,7 @@ import (
 
 func main() {
 	scheme := flag.String("scheme", "select", "baseline|remapping|select|ospill|coalesce")
+	alloc := flag.String("alloc", "", "allocation backend: auto|irc|ssa|ospill (empty = the scheme's preferred; auto steps down as the deadline nears)")
 	regN := flag.Int("regn", 12, "addressable registers (RegN)")
 	diffN := flag.Int("diffn", 8, "encodable differences (DiffN)")
 	restarts := flag.Int("restarts", 1000, "remapping restarts")
@@ -85,6 +93,7 @@ func main() {
 		err = remote(os.Stdout, *addr, service.Request{
 			IR:        string(src),
 			Scheme:    *scheme,
+			Alloc:     *alloc,
 			RegN:      *regN,
 			DiffN:     *diffN,
 			Restarts:  *restarts,
@@ -146,6 +155,7 @@ func main() {
 
 	res, err := diffra.CompileFunc(f.Clone(), diffra.Options{
 		Scheme:       diffra.Scheme(*scheme),
+		Alloc:        diffra.Backend(*alloc),
 		RegN:         *regN,
 		DiffN:        *diffN,
 		Restarts:     *restarts,
@@ -160,6 +170,7 @@ func main() {
 
 	fmt.Printf("function       %s\n", out.Name)
 	fmt.Printf("scheme         %s (RegN=%d DiffN=%d)\n", *scheme, *regN, *diffN)
+	fmt.Printf("alloc backend  %s\n", res.AllocBackend)
 	fmt.Printf("instructions   %d\n", res.Instrs)
 	fmt.Printf("spill instrs   %d (%.2f%%)\n", res.SpillInstrs, pct(res.SpillInstrs, res.Instrs))
 	fmt.Printf("spilled ranges %d\n", asn.SpilledVRegs)
@@ -278,6 +289,9 @@ func remote(w io.Writer, addr string, req service.Request) error {
 	}
 	fmt.Fprintf(w, "function       %s (remote%s)\n", resp.Func, map[bool]string{true: ", cached", false: ""}[resp.Cached])
 	fmt.Fprintf(w, "scheme         %s (RegN=%d DiffN=%d)\n", resp.Scheme, resp.RegN, resp.DiffN)
+	if resp.AllocBackend != "" {
+		fmt.Fprintf(w, "alloc backend  %s\n", resp.AllocBackend)
+	}
 	fmt.Fprintf(w, "instructions   %d\n", resp.Instrs)
 	fmt.Fprintf(w, "spill instrs   %d (%.2f%%)\n", resp.SpillInstrs, pct(resp.SpillInstrs, resp.Instrs))
 	fmt.Fprintf(w, "spilled ranges %d\n", resp.SpilledVRegs)

@@ -30,7 +30,12 @@
 //
 // Per-request deadlines (timeout_ms, capped by -timeout as the
 // default) propagate into the compiler's long-running searches, so a
-// client that gives up stops burning a worker slot. SIGINT/SIGTERM
+// client that gives up stops burning a worker slot. -alloc sets the
+// server-wide allocation backend for requests that do not pick one
+// ("alloc" in the request body); "auto" makes the compiler step down
+// from each scheme's preferred allocator to the near-linear SSA scan
+// as a request's deadline nears, and the resolved choice comes back
+// in the alloc_backend field and the X-Diffra-Alloc header. SIGINT/SIGTERM
 // trigger a graceful shutdown: /healthz flips to 503 so load balancers
 // stop routing, the listener closes, in-flight requests drain (the
 // buffered access log flushes its final lines), then the process
@@ -62,6 +67,7 @@ func main() {
 	nodeID := flag.String("node-id", "", "fleet identity echoed as the X-Diffra-Node response header")
 	maxBytes := flag.Int64("max-request-bytes", 1<<20, "request body / IR source size limit")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request compile deadline")
+	alloc := flag.String("alloc", "", "default allocation backend for requests that set none: auto|irc|ssa|ospill (empty = each scheme's preferred; the resolved choice is echoed as X-Diffra-Alloc)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain limit")
 	selfCheck := flag.Int("selfcheck", 0, "shadow-oracle every Nth successful compile against the reference interpreter (0 = off; see service_selfcheck_* metrics)")
 	remapWorkers := flag.Int("remap-workers", 0, "parallel remap-search workers per compile (0 = serial; the pool already compiles one request per core)")
@@ -95,6 +101,7 @@ func main() {
 		NodeID:          *nodeID,
 		MaxRequestBytes: *maxBytes,
 		DefaultTimeout:  *timeout,
+		Alloc:           *alloc,
 		SelfCheck:       *selfCheck,
 		RemapWorkers:    *remapWorkers,
 		SpillWorkers:    *spillWorkers,

@@ -30,6 +30,7 @@ import (
 	"diffra/internal/regalloc"
 	"diffra/internal/remap"
 	"diffra/internal/scratch"
+	"diffra/internal/ssaalloc"
 	"diffra/internal/telemetry"
 )
 
@@ -53,10 +54,54 @@ const (
 	Coalesce Scheme = "coalesce"
 )
 
+// Backend names an allocation backend of the portfolio. The scheme
+// fixes the paper semantics (which post-passes run, how the result is
+// encoded); the backend picks who does the core register allocation,
+// trading quality for latency.
+type Backend string
+
+const (
+	// AllocAuto resolves per request: the scheme's preferred backend
+	// when the deadline allows, stepping down to IRC and finally to the
+	// SSA scan as the context nears expiry. The resolved choice is
+	// reported in Result.AllocBackend and never participates in cache
+	// keys (two auto requests with different deadlines share an entry).
+	AllocAuto Backend = "auto"
+	// AllocIRC is iterated register coalescing — the quality default
+	// for the graph-coloring schemes.
+	AllocIRC Backend = "irc"
+	// AllocSSA is the chordal dominance-order scan (internal/ssaalloc):
+	// near-linear, arena-backed, an order of magnitude faster than IRC
+	// on the §8 kernels; spills are pressure-driven (Belady) rather
+	// than cost-optimal.
+	AllocSSA Backend = "ssa"
+	// AllocOSpill is exact spilling via the ILP solver — the quality
+	// default for the OSpill and Coalesce schemes, and the most
+	// expensive by far.
+	AllocOSpill Backend = "ospill"
+)
+
+// preferred is the backend a scheme uses at full quality — what the
+// empty Alloc option resolves to, and the top of the auto ladder.
+func (s Scheme) preferred() Backend {
+	if s == OSpill || s == Coalesce {
+		return AllocOSpill
+	}
+	return AllocIRC
+}
+
 // Options configures Compile.
 type Options struct {
 	// Scheme is the allocation strategy (default Select).
 	Scheme Scheme
+	// Alloc selects the allocation backend: AllocIRC, AllocSSA,
+	// AllocOSpill, or AllocAuto to pick per request from instance
+	// size and deadline remaining. Empty resolves to the scheme's
+	// preferred backend (IRC for baseline/remapping/select, exact
+	// spilling for ospill/coalesce), so zero-value options behave
+	// exactly as before the portfolio existed. The scheme's post-passes
+	// (remapping, refinement, encoding) run regardless of backend.
+	Alloc Backend
 	// RegN is the number of addressable registers (default 12).
 	RegN int
 	// DiffN is the number of encodable differences (default
@@ -94,6 +139,20 @@ type Options struct {
 func (o *Options) fill() error {
 	if o.Scheme == "" {
 		o.Scheme = Select
+	}
+	switch o.Scheme {
+	case Baseline, Remapping, Select, OSpill, Coalesce:
+	default:
+		return fmt.Errorf("diffra: unknown scheme %q", o.Scheme)
+	}
+	switch o.Alloc {
+	case "":
+		// Canonicalize to the concrete default so an explicit
+		// `-alloc irc` request and a default one share a cache entry.
+		o.Alloc = o.Scheme.preferred()
+	case AllocAuto, AllocIRC, AllocSSA, AllocOSpill:
+	default:
+		return fmt.Errorf("diffra: unknown alloc backend %q", o.Alloc)
 	}
 	if o.RegN == 0 {
 		o.RegN = 12
@@ -164,7 +223,34 @@ type Result struct {
 	Encoding *diffenc.Result
 	// Instrs, SpillInstrs and SetLastRegs are static counts over F.
 	Instrs, SpillInstrs, SetLastRegs int
+	// AllocBackend is the backend that actually allocated: the resolved
+	// choice under AllocAuto, otherwise the requested one.
+	AllocBackend Backend
 }
+
+// PhaseError is the context-expiry error: it records which compile
+// phase and which allocation backend were active when the deadline
+// fired or the request was cancelled, so deadline-policy misses are
+// diagnosable ("the remap search ate the budget" vs "even the ssa scan
+// did not fit"). It wraps the context error, so
+// errors.Is(err, context.DeadlineExceeded) keeps working.
+type PhaseError struct {
+	// Func is the function being compiled.
+	Func string
+	// Phase is the compile phase that was running: "allocate", "remap",
+	// "refine", "verify", or "encode".
+	Phase string
+	// Backend is the allocation backend in effect (resolved under auto).
+	Backend Backend
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *PhaseError) Error() string {
+	return fmt.Sprintf("diffra: compile %s: %s phase (backend %s): %v", e.Func, e.Phase, e.Backend, e.Err)
+}
+
+func (e *PhaseError) Unwrap() error { return e.Err }
 
 // Compile parses one function in the textual IR format (see
 // internal/ir.Parse for the grammar), allocates registers under the
@@ -208,8 +294,13 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 	if ctx.Done() != nil {
 		cancelled = func() bool { return ctx.Err() != nil }
 	}
+	backend := opts.Alloc
+	if backend == AllocAuto {
+		backend = resolveAuto(ctx, f, opts)
+	}
+	phase := "allocate"
 	ctxErr := func(f *ir.Func) error {
-		return fmt.Errorf("diffra: compile %s: %w", f.Name, ctx.Err())
+		return &PhaseError{Func: f.Name, Phase: phase, Backend: backend, Err: ctx.Err()}
 	}
 	started := time.Now()
 	root := opts.Telemetry.Start("compile")
@@ -218,50 +309,59 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 	root.SetAttr("scheme", string(opts.Scheme))
 	root.SetAttr("regn", opts.RegN)
 	root.SetAttr("diffn", opts.DiffN)
+	root.SetAttr("alloc_backend", string(backend))
 
 	var (
 		out *ir.Func
 		asn *regalloc.Assignment
 		err error
 	)
+	// The backend owns the core allocation; the scheme's post-passes
+	// (remapping, refinement) and encoding mode are unchanged by it.
 	alloc := root.Child("allocate")
-	differential := true
-	switch opts.Scheme {
-	case Baseline:
-		differential = false
-		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc, Scratch: opts.Scratch})
-	case Remapping:
-		out, asn, err = irc.Allocate(f, irc.Options{K: opts.RegN, Trace: alloc, Scratch: opts.Scratch})
-		alloc.End()
-		if err == nil {
-			applyRemap(out, asn, opts, root, cancelled)
+	alloc.SetAttr("backend", string(backend))
+	differential := opts.Scheme == Remapping || opts.Scheme == Select || opts.Scheme == Coalesce
+	switch backend {
+	case AllocSSA:
+		diff := diffsel.Params{}
+		if opts.Scheme == Select || opts.Scheme == Coalesce {
+			// The §6 cost hook rides the scan's color tiebreak for the
+			// schemes whose allocator integrates differential select.
+			diff = diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN}
 		}
-	case Select:
-		out, asn, err = irc.Allocate(f, irc.Options{
-			K:             opts.RegN,
-			PickerFactory: diffsel.NewFactory(diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc}),
-			Trace:         alloc,
-			Scratch:       opts.Scratch,
-		})
-		alloc.End()
-		if err == nil {
-			applyRemap(out, asn, opts, root, cancelled)
-			refineTraced(out, asn, opts, root)
+		out, asn, err = ssaalloc.Allocate(f, ssaalloc.Options{K: opts.RegN, Diff: diff, Trace: alloc, Scratch: opts.Scratch})
+		if err == nil && out == f {
+			// The scan's no-spill path returns the input itself; the
+			// facade's contract is a private function the post-passes
+			// and the encoder are free to mutate.
+			out = f.Clone()
 		}
-	case OSpill:
-		differential = false
-		out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Workers: opts.SpillWorkers, Trace: alloc, Cancel: cancelled})
-	case Coalesce:
-		out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, SpillWorkers: opts.SpillWorkers, Trace: alloc, Cancel: cancelled})
-		alloc.End()
-		if err == nil {
-			applyRemap(out, asn, opts, root, cancelled)
-			refineTraced(out, asn, opts, root)
+	case AllocOSpill:
+		if opts.Scheme == Coalesce {
+			out, asn, _, err = diffcoal.Allocate(f, diffcoal.Options{RegN: opts.RegN, DiffN: opts.DiffN, SpillWorkers: opts.SpillWorkers, Trace: alloc, Cancel: cancelled})
+		} else {
+			out, asn, _, err = ospill.Allocate(f, ospill.Options{K: opts.RegN, Workers: opts.SpillWorkers, Trace: alloc, Cancel: cancelled})
 		}
-	default:
-		return nil, fmt.Errorf("diffra: unknown scheme %q", opts.Scheme)
+	default: // AllocIRC
+		io := irc.Options{K: opts.RegN, Trace: alloc, Scratch: opts.Scratch}
+		if opts.Scheme == Select {
+			io.PickerFactory = diffsel.NewFactory(diffsel.Params{RegN: opts.RegN, DiffN: opts.DiffN, Trace: alloc})
+		}
+		out, asn, err = irc.Allocate(f, io)
 	}
-	alloc.End() // idempotent: closes the paths that did not End above
+	alloc.End()
+	if err == nil && ctx.Err() == nil {
+		switch opts.Scheme {
+		case Remapping:
+			phase = "remap"
+			applyRemap(out, asn, opts, root, cancelled)
+		case Select, Coalesce:
+			phase = "remap"
+			applyRemap(out, asn, opts, root, cancelled)
+			phase = "refine"
+			refineTraced(out, asn, opts, root)
+		}
+	}
 	if ce := ctx.Err(); ce != nil {
 		// A cancel-induced allocator error (ospill.ErrCancelled, ...)
 		// surfaces as the context's own error so callers can match
@@ -274,6 +374,7 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 		root.SetAttr("error", err.Error())
 		return nil, err
 	}
+	phase = "verify"
 	verify := root.Child("verify")
 	err = regalloc.Verify(out, asn)
 	verify.End()
@@ -282,12 +383,13 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 		return nil, err
 	}
 
-	res := &Result{F: out, Assignment: asn}
+	res := &Result{F: out, Assignment: asn, AllocBackend: backend}
 	if ce := ctx.Err(); ce != nil {
 		err = ctxErr(f)
 		root.SetAttr("error", err.Error())
 		return nil, err
 	}
+	phase = "encode"
 	if differential {
 		cfg := diffenc.Config{RegN: opts.RegN, DiffN: opts.DiffN}
 		regOf := func(r ir.Reg) int { return asn.Color[r] }
@@ -332,6 +434,42 @@ func CompileFuncContext(ctx context.Context, f *ir.Func, opts Options) (*Result,
 	telemetry.Default.Counter("diffra_set_last_regs").Add(int64(res.SetLastRegs))
 	telemetry.Default.Histogram("diffra_compile_us").Observe(time.Since(started).Microseconds())
 	return res, nil
+}
+
+// resolveAuto is the deadline policy behind AllocAuto: exact spilling
+// when there is budget for it (and the scheme wants it), IRC in the
+// middle, the SSA scan when the context is about to expire. The
+// latency estimates are deliberately pessimistic — stepping down a
+// backend costs some allocation quality, while missing the deadline
+// costs the whole request — and scale with instance size so a huge
+// function steps down sooner than a kernel.
+func resolveAuto(ctx context.Context, f *ir.Func, opts Options) Backend {
+	pref := opts.Scheme.preferred()
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return pref // no deadline: full quality
+	}
+	instrs := 0
+	for _, b := range f.Blocks {
+		instrs += len(b.Instrs)
+	}
+	remaining := time.Until(deadline)
+	// IRC's cost has a term quadratic in the vreg count: its interference
+	// graph keeps an O(V^2)-bit adjacency matrix, so a function with tens
+	// of thousands of vregs pays hundreds of milliseconds in graph build
+	// alone. The SSA scan never materializes the graph and stays
+	// near-linear, which is exactly when stepping down pays off.
+	v := f.NumRegs()
+	ircEst := 2*time.Millisecond + time.Duration(instrs)*4*time.Microsecond +
+		time.Duration(uint64(v)*uint64(v)/8)*time.Nanosecond
+	ospillEst := 200*time.Millisecond + time.Duration(instrs)*2*time.Millisecond
+	if pref == AllocOSpill && remaining >= ospillEst {
+		return AllocOSpill
+	}
+	if remaining >= ircEst {
+		return AllocIRC
+	}
+	return AllocSSA
 }
 
 func applyRemap(out *ir.Func, asn *regalloc.Assignment, opts Options, parent *telemetry.Span, cancel func() bool) {

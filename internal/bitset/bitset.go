@@ -33,6 +33,27 @@ func (s *Set) grow(i int) {
 	}
 }
 
+// Word returns the i'th 64-bit word of the set (zero when the set is
+// shorter). Together with OrWord it lets single-word hot paths — a
+// function with at most 64 virtual registers, which is every §8 kernel
+// — run their dataflow on plain uint64 values and only materialize
+// Sets at the boundary.
+func (s *Set) Word(i int) uint64 {
+	if i < 0 || i >= len(s.words) {
+		return 0
+	}
+	return s.words[i]
+}
+
+// OrWord ors a full 64-bit word into the i'th word, growing as needed.
+func (s *Set) OrWord(i int, w uint64) {
+	if w == 0 {
+		return
+	}
+	s.grow(i*64 + 63)
+	s.words[i] |= w
+}
+
 // Add inserts i.
 func (s *Set) Add(i int) {
 	s.grow(i)

@@ -17,6 +17,11 @@ import (
 var fuzzRegNs = []int{4, 8, 12, 16, 31, 32}
 var fuzzSchemes = []diffra.Scheme{diffra.Baseline, diffra.Remapping, diffra.Select, diffra.Coalesce, diffra.OSpill}
 
+// fuzzBackends alternates between the scheme's preferred allocation
+// backend and the SSA fast-path scan, selected from schemeSel's high
+// part so the corpus keeps its four-value shape.
+var fuzzBackends = []diffra.Backend{"", diffra.AllocSSA}
+
 // FuzzSemantics generates random structured CFGs, compiles them under
 // a fuzzed scheme and geometry, and oracles the result against the
 // virtual-register reference semantics. A divergence is shrunk to a
@@ -32,7 +37,8 @@ func FuzzSemantics(f *testing.F) {
 		regN := fuzzRegNs[int(regSel)%len(fuzzRegNs)]
 		diffN := 1 + int(diffSel)%regN
 		scheme := fuzzSchemes[int(schemeSel)%len(fuzzSchemes)]
-		opts := diffra.Options{Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 8}
+		alloc := fuzzBackends[int(schemeSel)/len(fuzzSchemes)%len(fuzzBackends)]
+		opts := diffra.Options{Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 8, Alloc: alloc}
 		spec := RunSpec{Args: args, Mem: mem, MaxSteps: 1_000_000}
 
 		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
@@ -42,7 +48,7 @@ func FuzzSemantics(f *testing.F) {
 			t.Skip("compile timed out (ILP search)") // not a semantic failure
 		}
 		if err != nil {
-			t.Fatalf("seed %d %s R%d D%d: compile: %v\n%s", seed, scheme, regN, diffN, err, gf)
+			t.Fatalf("seed %d %s/%s R%d D%d: compile: %v\n%s", seed, scheme, alloc, regN, diffN, err, gf)
 		}
 		oerr := CheckCompiled(gf, res, spec)
 		if oerr == nil {
@@ -58,10 +64,10 @@ func FuzzSemantics(f *testing.F) {
 			return CheckCompiled(c, cres, spec) != nil
 		}
 		min := Shrink(gf, fails)
-		rep := &Repro{Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 8, Args: args, Mem: mem, F: min}
+		rep := &Repro{Scheme: scheme, Alloc: alloc, RegN: regN, DiffN: diffN, Restarts: 8, Args: args, Mem: mem, F: min}
 		path := writeRepro(t, rep)
-		t.Fatalf("seed %d %s R%d D%d: %v\nminimized reproducer written to %s:\n%s",
-			seed, scheme, regN, diffN, oerr, path, min)
+		t.Fatalf("seed %d %s/%s R%d D%d: %v\nminimized reproducer written to %s:\n%s",
+			seed, scheme, alloc, regN, diffN, oerr, path, min)
 	})
 }
 
@@ -115,12 +121,12 @@ func TestReproReplay(t *testing.T) {
 // TestReproRoundTrip pins the reproducer file format.
 func TestReproRoundTrip(t *testing.T) {
 	f, args, mem := Generate(3)
-	rep := &Repro{Scheme: diffra.Select, RegN: 12, DiffN: 5, Restarts: 8, Args: args, Mem: mem, F: f}
+	rep := &Repro{Scheme: diffra.Select, Alloc: diffra.AllocSSA, RegN: 12, DiffN: 5, Restarts: 8, Args: args, Mem: mem, F: f}
 	back, err := ParseRepro(rep.Format())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Scheme != rep.Scheme || back.RegN != rep.RegN || back.DiffN != rep.DiffN || back.Restarts != rep.Restarts {
+	if back.Scheme != rep.Scheme || back.Alloc != rep.Alloc || back.RegN != rep.RegN || back.DiffN != rep.DiffN || back.Restarts != rep.Restarts {
 		t.Fatalf("metadata round-trip: %+v", back)
 	}
 	if len(back.Args) != len(args) || len(back.Mem) != len(mem) {

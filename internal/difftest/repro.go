@@ -16,7 +16,11 @@ import (
 // files with the metadata in leading comment lines, and the replay
 // test re-runs every file there as a regression suite.
 type Repro struct {
-	Scheme   diffra.Scheme
+	Scheme diffra.Scheme
+	// Alloc is the allocation backend the divergence occurred under;
+	// empty means the scheme's preferred one (and is omitted from the
+	// file, keeping pre-portfolio reproducers parseable).
+	Alloc    diffra.Backend
 	RegN     int
 	DiffN    int
 	Restarts int
@@ -27,7 +31,7 @@ type Repro struct {
 
 // Options returns the compile options the reproducer was found under.
 func (r *Repro) Options() diffra.Options {
-	return diffra.Options{Scheme: r.Scheme, RegN: r.RegN, DiffN: r.DiffN, Restarts: r.Restarts}
+	return diffra.Options{Scheme: r.Scheme, Alloc: r.Alloc, RegN: r.RegN, DiffN: r.DiffN, Restarts: r.Restarts}
 }
 
 // Spec returns the run input.
@@ -39,7 +43,11 @@ func (r *Repro) Spec() RunSpec {
 func (r *Repro) Format() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "; difftest reproducer\n")
-	fmt.Fprintf(&sb, "; scheme=%s regn=%d diffn=%d restarts=%d\n", r.Scheme, r.RegN, r.DiffN, r.Restarts)
+	fmt.Fprintf(&sb, "; scheme=%s regn=%d diffn=%d restarts=%d", r.Scheme, r.RegN, r.DiffN, r.Restarts)
+	if r.Alloc != "" {
+		fmt.Fprintf(&sb, " alloc=%s", r.Alloc)
+	}
+	sb.WriteString("\n")
 	args := make([]string, len(r.Args))
 	for i, a := range r.Args {
 		args[i] = strconv.FormatInt(a, 10)
@@ -77,6 +85,8 @@ func ParseRepro(src string) (*Repro, error) {
 			switch k {
 			case "scheme":
 				r.Scheme = diffra.Scheme(v)
+			case "alloc":
+				r.Alloc = diffra.Backend(v)
 			case "regn":
 				fmt.Sscanf(v, "%d", &r.RegN)
 			case "diffn":

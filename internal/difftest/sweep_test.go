@@ -45,9 +45,13 @@ func diffSample(regN int) []int {
 // must reproduce the kernel's reference trace through the allocation
 // and through both stream-decode models. The paper's correctness claim
 // — differential encoding is a pure representation change — is exactly
-// this test.
+// this test. Every geometry compiles twice: once under the scheme's
+// preferred allocation backend and once forced onto the SSA fast-path
+// scan, pinning the portfolio's equivalence claim — swapping the
+// backend changes latency, never semantics.
 func TestSweepSchemes(t *testing.T) {
 	schemes := []diffra.Scheme{diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce}
+	backends := []diffra.Backend{"", diffra.AllocSSA}
 	checked := 0
 	for _, k := range workloads.Kernels() {
 		// One liveness analysis per source kernel, shared by every
@@ -75,17 +79,25 @@ func TestSweepSchemes(t *testing.T) {
 					diffNs = diffNs[:1]
 				}
 				for _, diffN := range diffNs {
-					name := fmt.Sprintf("%s/%s/R%d/D%d", k.Name, scheme, regN, diffN)
-					res, err := diffra.CompileFunc(k.F, diffra.Options{
-						Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 20,
-					})
-					if err != nil {
-						t.Fatalf("%s: compile: %v", name, err)
+					for _, backend := range backends {
+						name := fmt.Sprintf("%s/%s/R%d/D%d", k.Name, scheme, regN, diffN)
+						if backend != "" {
+							name += "/" + string(backend)
+						}
+						res, err := diffra.CompileFunc(k.F, diffra.Options{
+							Scheme: scheme, RegN: regN, DiffN: diffN, Restarts: 20, Alloc: backend,
+						})
+						if err != nil {
+							t.Fatalf("%s: compile: %v", name, err)
+						}
+						if backend != "" && res.AllocBackend != backend {
+							t.Fatalf("%s: ran backend %q", name, res.AllocBackend)
+						}
+						if err := CompareCompiled(k.F, res, ref, spec); err != nil {
+							t.Errorf("%s: %v", name, err)
+						}
+						checked++
 					}
-					if err := CompareCompiled(k.F, res, ref, spec); err != nil {
-						t.Errorf("%s: %v", name, err)
-					}
-					checked++
 				}
 			}
 		}

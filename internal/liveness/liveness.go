@@ -49,60 +49,150 @@ func ComputeTraced(f *ir.Func, span *telemetry.Span) *Info {
 // do instruction-granular work (MaxPressure stays available for
 // offline diagnosis).
 func ComputeScratch(f *ir.Func, span *telemetry.Span, ar *scratch.Arena) *Info {
+	info := new(Info)
+	ComputeInto(f, span, ar, info)
+	return info
+}
+
+// ComputeInto is ComputeScratch filling a caller-owned Info — for hot
+// paths that embed the Info in their own (single-allocation) state
+// instead of paying a heap allocation per compile. Any previous
+// contents of info are overwritten.
+func ComputeInto(f *ir.Func, span *telemetry.Span, ar *scratch.Arena, info *Info) {
 	if ar == nil {
 		ar = new(scratch.Arena)
 	}
 	n := len(f.Blocks)
 	nr := f.NumRegs()
-	info := &Info{
+	*info = Info{
 		F:       f,
 		LiveIn:  ar.Bitsets(n, nr),
 		LiveOut: ar.Bitsets(n, nr),
-		uevar:   ar.Bitsets(n, nr),
-		kill:    ar.Bitsets(n, nr),
 		tmp:     ar.Bitset(nr),
 	}
 
-	// Local sets: a use is upward-exposed if not killed earlier in the
-	// block; defs kill.
-	for _, b := range f.Blocks {
-		ue, kl := info.uevar[b.Index], info.kill[b.Index]
-		for _, in := range b.Instrs {
-			for _, u := range in.Uses {
-				if !kl.Has(int(u)) {
-					ue.Add(int(u))
+	// Postorder (reverse of RPO) as an iterative DFS on arena index
+	// arrays — the recursive f.ReversePostorder allocates on every
+	// call, and this function is on the per-round hot path of every
+	// allocator.
+	post := ar.Ints(n)[:0]
+	if e := f.Entry(); e != nil {
+		seen := ar.Bools(n)
+		bStack := ar.Ints(n)[:0]
+		pStack := ar.Ints(n)[:0]
+		seen[e.Index] = true
+		bStack = append(bStack, e.Index)
+		pStack = append(pStack, 0)
+		for len(bStack) > 0 {
+			top := len(bStack) - 1
+			b := f.Blocks[bStack[top]]
+			if pStack[top] < len(b.Succs) {
+				s := b.Succs[pStack[top]]
+				pStack[top]++
+				if !seen[s.Index] {
+					seen[s.Index] = true
+					bStack = append(bStack, s.Index)
+					pStack = append(pStack, 0)
 				}
+				continue
 			}
-			for _, d := range in.Defs {
-				kl.Add(int(d))
-			}
+			post = append(post, b.Index)
+			bStack = bStack[:top]
+			pStack = pStack[:top]
 		}
 	}
 
-	// Backward fixpoint over postorder (reverse of RPO). LiveIn is
-	// mutated in place through one scratch set instead of a fresh
-	// Copy per block per iteration: the transfer result lands in tmp,
-	// and only a changed block copies it back.
-	rpo := f.ReversePostorder()
-	tmp := ar.Bitset(nr)
 	iters := 0
-	for changed := true; changed; {
-		changed = false
-		iters++
-		for i := len(rpo) - 1; i >= 0; i-- {
-			b := rpo[i]
-			out := info.LiveOut[b.Index]
-			for _, s := range b.Succs {
-				if out.UnionWith(info.LiveIn[s.Index]) {
+	if nr <= 64 {
+		// Single-word specialization: every §8 kernel has at most 64
+		// virtual registers, so each block's sets fit one uint64 and
+		// the whole dataflow — local sets and fixpoint — runs on plain
+		// machine words with no per-element calls. Results are or'd
+		// into the (identically defined) Set views at the end; the
+		// uevar/kill sets are fixpoint-internal and stay nil here.
+		ue := ar.Uint64s(n)
+		kl := ar.Uint64s(n)
+		for _, b := range f.Blocks {
+			var u, k uint64
+			for _, in := range b.Instrs {
+				for _, r := range in.Uses {
+					if k&(1<<uint(r)) == 0 {
+						u |= 1 << uint(r)
+					}
+				}
+				for _, d := range in.Defs {
+					k |= 1 << uint(d)
+				}
+			}
+			ue[b.Index], kl[b.Index] = u, k
+		}
+		liveIn := ar.Uint64s(n)
+		liveOut := ar.Uint64s(n)
+		for changed := true; changed; {
+			changed = false
+			iters++
+			for _, bi := range post {
+				b := f.Blocks[bi]
+				out := liveOut[bi]
+				for _, s := range b.Succs {
+					out |= liveIn[s.Index]
+				}
+				in := out&^kl[bi] | ue[bi]
+				if out != liveOut[bi] {
+					liveOut[bi] = out
+					changed = true
+				}
+				if in != liveIn[bi] {
+					liveIn[bi] = in
 					changed = true
 				}
 			}
-			tmp.CopyFrom(out)
-			tmp.DiffWith(info.kill[b.Index])
-			tmp.UnionWith(info.uevar[b.Index])
-			if !tmp.Equal(info.LiveIn[b.Index]) {
-				info.LiveIn[b.Index].CopyFrom(tmp)
-				changed = true
+		}
+		for i := 0; i < n; i++ {
+			info.LiveIn[i].OrWord(0, liveIn[i])
+			info.LiveOut[i].OrWord(0, liveOut[i])
+		}
+	} else {
+		// Generic path. Local sets first: a use is upward-exposed if
+		// not killed earlier in the block; defs kill.
+		info.uevar = ar.Bitsets(n, nr)
+		info.kill = ar.Bitsets(n, nr)
+		for _, b := range f.Blocks {
+			ue, kl := info.uevar[b.Index], info.kill[b.Index]
+			for _, in := range b.Instrs {
+				for _, u := range in.Uses {
+					if !kl.Has(int(u)) {
+						ue.Add(int(u))
+					}
+				}
+				for _, d := range in.Defs {
+					kl.Add(int(d))
+				}
+			}
+		}
+		// Backward fixpoint over postorder. LiveIn is mutated in place
+		// through one scratch set instead of a fresh Copy per block per
+		// iteration: the transfer result lands in tmp, and only a
+		// changed block copies it back.
+		tmp := ar.Bitset(nr)
+		for changed := true; changed; {
+			changed = false
+			iters++
+			for _, bi := range post {
+				b := f.Blocks[bi]
+				out := info.LiveOut[bi]
+				for _, s := range b.Succs {
+					if out.UnionWith(info.LiveIn[s.Index]) {
+						changed = true
+					}
+				}
+				tmp.CopyFrom(out)
+				tmp.DiffWith(info.kill[bi])
+				tmp.UnionWith(info.uevar[bi])
+				if !tmp.Equal(info.LiveIn[bi]) {
+					info.LiveIn[bi].CopyFrom(tmp)
+					changed = true
+				}
 			}
 		}
 	}
@@ -125,7 +215,6 @@ func ComputeScratch(f *ir.Func, span *telemetry.Span, ar *scratch.Arena) *Info {
 		// that costs O(blocks) instead of a full instruction sweep.
 		span.SetAttr("max_block_live", maxLive)
 	}
-	return info
 }
 
 // LiveAcross walks block b backwards and calls visit for each

@@ -155,17 +155,44 @@ func Verify(f *ir.Func, asn *Assignment) error {
 		return err
 	}
 
+	// Check interference directly off the liveness walk instead of
+	// materializing a Graph: Build keeps an O(V^2)-bit adjacency matrix
+	// to dedup edges, which dominates verification on large functions
+	// (tens of thousands of vregs), while the walk below is
+	// O(instrs x live). The edge rules are Build's exactly: each def
+	// conflicts with everything live after its instruction except a
+	// move's own source, multiple defs of one instruction conflict
+	// pairwise, and registers live into entry form a clique.
 	info := liveness.Compute(f)
-	g := Build(f, info)
-	for u := 0; u < g.N; u++ {
-		if !used.Has(u) {
-			continue
-		}
-		for _, v := range g.AdjList[u] {
-			if v > u && used.Has(v) && asn.Color[u] == asn.Color[v] {
-				return fmt.Errorf("regalloc: interfering v%d and v%d share R%d", u, v, asn.Color[u])
-			}
+	var err2 error
+	conflict := func(u, v int) {
+		if err2 == nil && u != v && asn.Color[u] == asn.Color[v] {
+			err2 = fmt.Errorf("regalloc: interfering v%d and v%d share R%d", u, v, asn.Color[u])
 		}
 	}
-	return nil
+	for _, b := range f.Blocks {
+		info.LiveAcross(b, func(_ int, in *ir.Instr, liveAfter *bitset.Set) {
+			for _, d := range in.Defs {
+				liveAfter.ForEach(func(l int) {
+					if in.IsMove() && ir.Reg(l) == in.Uses[0] {
+						return
+					}
+					conflict(int(d), l)
+				})
+				for _, d2 := range in.Defs {
+					conflict(int(d), int(d2))
+				}
+			}
+		})
+		if err2 != nil {
+			return err2
+		}
+	}
+	entryLive := info.LiveIn[f.Entry().Index].Elems()
+	for i, u := range entryLive {
+		for _, v := range entryLive[i+1:] {
+			conflict(u, v)
+		}
+	}
+	return err2
 }

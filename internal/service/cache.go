@@ -24,14 +24,18 @@ import (
 // defaults and one leaving them zero share an entry. RemapWorkers and
 // SpillWorkers are deliberately not hashed: both searches are
 // deterministic at any worker count, so the worker setting never
-// changes the response. The disk tier adds cache.SchemaVersion on top
-// of this key, so persisted entries from an incompatible binary can
-// never satisfy it.
+// changes the response. The allocation backend IS hashed — explicit
+// backends produce different code — but "auto" hashes as the literal
+// string, not the per-request resolution: a deadline is not content,
+// so two auto requests differing only in time budget share an entry
+// (the resolved choice still travels in Response.AllocBackend). The
+// disk tier adds cache.SchemaVersion on top of this key, so persisted
+// entries from an incompatible binary can never satisfy it.
 func CacheKey(f *ir.Func, opts diffra.Options, listing, explain bool) string {
 	h := sha256.New()
 	io.WriteString(h, f.String())
-	fmt.Fprintf(h, "\x00%s\x00%d\x00%d\x00%d\x00%t\x00%t",
-		opts.Scheme, opts.RegN, opts.DiffN, opts.Restarts, listing, explain)
+	fmt.Fprintf(h, "\x00%s\x00%d\x00%d\x00%d\x00%t\x00%t\x00%s",
+		opts.Scheme, opts.RegN, opts.DiffN, opts.Restarts, listing, explain, opts.Alloc)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -83,6 +83,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.NodeID != "" {
 		w.Header().Set("X-Diffra-Node", s.cfg.NodeID)
 	}
+	if resp.AllocBackend != "" {
+		// The resolved allocation backend, so "auto" clients can see
+		// which allocator answered without parsing the body.
+		w.Header().Set("X-Diffra-Alloc", resp.AllocBackend)
+	}
 	if resp.Shed {
 		secs := (resp.RetryAfterMs + 999) / 1000
 		w.Header().Set("Retry-After", strconv.Itoa(secs))

@@ -1,0 +1,8 @@
+//go:build !race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; the
+// deadline-calibrated portfolio tests skip under it, since the
+// detector's 5-20x slowdown invalidates their latency envelopes.
+const raceEnabled = false

@@ -43,6 +43,13 @@ type Request struct {
 	RegN     int `json:"regn,omitempty"`
 	DiffN    int `json:"diffn,omitempty"`
 	Restarts int `json:"restarts,omitempty"`
+	// Alloc selects the allocation backend: auto|irc|ssa|ospill, or
+	// empty for the server's configured default (Config.Alloc, falling
+	// back to the scheme's preferred backend). "auto" steps down to
+	// cheaper backends as the request deadline nears; the resolved
+	// choice comes back in Response.AllocBackend and the X-Diffra-Alloc
+	// header.
+	Alloc string `json:"alloc,omitempty"`
 	// TimeoutMs bounds this request's compile time; 0 uses the server
 	// default. The deadline also covers time spent queued for a worker.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
@@ -78,12 +85,22 @@ type Response struct {
 	// Cached reports that the response was served from the
 	// content-addressed cache without recompiling.
 	Cached bool `json:"cached,omitempty"`
+	// AllocBackend is the allocation backend that produced this result
+	// — the resolved choice when the request asked for "auto".
+	AllocBackend string `json:"alloc_backend,omitempty"`
 	// Error is the compile error, "" on success. Timeouts and
 	// cancellations mention the context error text.
 	Error string `json:"error,omitempty"`
 	// Timeout distinguishes deadline/cancellation failures from
 	// semantic compile errors.
 	Timeout bool `json:"timeout,omitempty"`
+	// TimeoutPhase / TimeoutBackend report which compile phase and
+	// which allocation backend were running when the deadline fired
+	// (empty for non-timeout failures and for timeouts that never
+	// reached the compiler, e.g. queued past deadline) — the data that
+	// makes auto-policy misses diagnosable.
+	TimeoutPhase   string `json:"timeout_phase,omitempty"`
+	TimeoutBackend string `json:"timeout_backend,omitempty"`
 	// Shed reports admission-control rejection: the worker queue was
 	// full (Config.MaxQueue) and the request was turned away without
 	// compiling. The HTTP layer maps it to 429 with a Retry-After
@@ -128,6 +145,10 @@ type Config struct {
 	// DefaultTimeout bounds requests that do not set TimeoutMs
 	// (0: 30s).
 	DefaultTimeout time.Duration
+	// Alloc is the allocation backend for requests that do not set
+	// their own: auto|irc|ssa|ospill, or empty to let each scheme use
+	// its preferred backend (the pre-portfolio behaviour).
+	Alloc string
 	// RemapWorkers bounds the parallelism of each compile's remapping
 	// search (diffra.Options.RemapWorkers). 0 keeps it serial: the pool
 	// already runs one compile per core, so intra-compile parallelism
@@ -332,6 +353,14 @@ func errResponse(err error) Response {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		r.Timeout = true
 	}
+	// The facade tags deadline errors with the phase and backend that
+	// were running; surface them so a timeout is diagnosable ("the
+	// remap search ate the budget" vs "even allocation did not fit").
+	var pe *diffra.PhaseError
+	if errors.As(err, &pe) {
+		r.TimeoutPhase = pe.Phase
+		r.TimeoutBackend = string(pe.Backend)
+	}
 	return r
 }
 
@@ -352,7 +381,9 @@ func (s *Server) Compile(ctx context.Context, req Request) Response {
 		rec.Scheme, rec.RegN, rec.DiffN = resp.Scheme, resp.RegN, resp.DiffN
 	}
 	rec.Cached = resp.Cached
+	rec.Alloc = resp.AllocBackend
 	rec.Error, rec.Timeout, rec.Shed = resp.Error, resp.Timeout, resp.Shed
+	rec.TimeoutPhase, rec.TimeoutBackend = resp.TimeoutPhase, resp.TimeoutBackend
 	if resp.Error != "" {
 		switch {
 		case resp.Shed:
@@ -441,8 +472,13 @@ func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecor
 	if int64(len(req.IR)) > s.cfg.MaxRequestBytes {
 		return errResponse(fmt.Errorf("service: ir source %d bytes exceeds limit %d", len(req.IR), s.cfg.MaxRequestBytes))
 	}
+	alloc := req.Alloc
+	if alloc == "" {
+		alloc = s.cfg.Alloc
+	}
 	opts, err := diffra.Options{
 		Scheme:   diffra.Scheme(req.Scheme),
+		Alloc:    diffra.Backend(alloc),
 		RegN:     req.RegN,
 		DiffN:    req.DiffN,
 		Restarts: req.Restarts,
@@ -460,11 +496,6 @@ func (s *Server) compileCached(ctx context.Context, req Request, rec *TraceRecor
 	opts.SpillWorkers = s.cfg.SpillWorkers
 	if opts.SpillWorkers <= 0 {
 		opts.SpillWorkers = 1
-	}
-	switch opts.Scheme {
-	case diffra.Baseline, diffra.Remapping, diffra.Select, diffra.OSpill, diffra.Coalesce:
-	default:
-		return errResponse(fmt.Errorf("service: unknown scheme %q", opts.Scheme))
 	}
 	f, err := ir.Parse(req.IR)
 	if err != nil {
@@ -582,7 +613,13 @@ func (s *Server) compile(ctx context.Context, f *ir.Func, opts diffra.Options, r
 		CoalescedMoves: res.Assignment.CoalescedMoves,
 		RegW:           regW,
 		DiffW:          diffW,
+		AllocBackend:   string(res.AllocBackend),
 	}
+	// Counted by resolved backend, so "auto" requests show up under the
+	// backend the policy actually picked — the live view of how often
+	// the deadline ladder steps down from a scheme's preferred
+	// allocator.
+	s.reg.CounterL("service_alloc_backend_total", "backend", resp.AllocBackend).Inc()
 	if enc := res.Encoding; enc != nil {
 		resp.RangeSets = enc.RangeSets()
 		resp.JoinSets = enc.JoinSets

@@ -19,13 +19,22 @@ type TraceRecord struct {
 	Scheme string    `json:"scheme,omitempty"`
 	RegN   int       `json:"regn,omitempty"`
 	DiffN  int       `json:"diffn,omitempty"`
-	Cached bool      `json:"cached,omitempty"`
+	// Alloc is the resolved allocation backend that produced the result
+	// — stored with the cache entry, so hits report it too (empty for
+	// sheds and failures that never reached the compiler).
+	Alloc  string `json:"alloc,omitempty"`
+	Cached bool   `json:"cached,omitempty"`
 	// DurUS is the request's total wall time including queueing;
 	// QueueUS the part spent waiting for a pool slot.
 	DurUS   int64  `json:"dur_us"`
 	QueueUS int64  `json:"queue_us"`
 	Error   string `json:"error,omitempty"`
 	Timeout bool   `json:"timeout,omitempty"`
+	// TimeoutPhase / TimeoutBackend mirror the Response fields: the
+	// compile phase and allocation backend running when the deadline
+	// fired, so retained timeout traces are diagnosable on their own.
+	TimeoutPhase   string `json:"timeout_phase,omitempty"`
+	TimeoutBackend string `json:"timeout_backend,omitempty"`
 	// Shed marks an admission-control rejection (429): retained like
 	// other interesting records so overload windows stay inspectable.
 	Shed bool `json:"shed,omitempty"`

@@ -53,14 +53,17 @@ import (
 	"diffra"
 	"diffra/internal/adjacency"
 	"diffra/internal/diffenc"
+	"diffra/internal/experiments"
 	"diffra/internal/ilp"
 	"diffra/internal/ir"
 	"diffra/internal/irc"
+	"diffra/internal/modsched"
 	"diffra/internal/ospill"
 	"diffra/internal/remap"
 	"diffra/internal/scratch"
 	"diffra/internal/ssaalloc"
 	"diffra/internal/telemetry"
+	"diffra/internal/vliw"
 	"diffra/internal/workloads"
 )
 
@@ -147,6 +150,33 @@ type report struct {
 	// outlier kernel from dominating the headline. (Alloc suite only.)
 	AllocSpeedups     map[string]float64 `json:"alloc_speedups,omitempty"`
 	SpeedupSSAGeomean float64            `json:"speedup_ssa_geomean,omitempty"`
+
+	// ModschedJoint is the joint-vs-phased comparison over the SPEC-like
+	// loop population sample: aggregate set_last_reg and cycle totals
+	// under both pipelines, the number of loops the combined search
+	// strictly improved, and the branch-and-bound effort. The two
+	// speedup fields below are the joint solver's wall-clock scaling
+	// (workers=1 ns/op over workers=4/8 ns/op), only meaningful with
+	// NumCPU > 1 — the host block records what was available.
+	// (Modsched suite only.)
+	ModschedJoint        *modschedJointSummary `json:"modsched_joint,omitempty"`
+	SpeedupJointWorkers4 float64               `json:"speedup_joint_workers_4,omitempty"`
+	SpeedupJointWorkers8 float64               `json:"speedup_joint_workers_8,omitempty"`
+}
+
+// modschedJointSummary aggregates the joint-vs-phased deltas recorded
+// by the modsched suite.
+type modschedJointSummary struct {
+	Loops            int     `json:"loops"`
+	Optimized        int     `json:"optimized"`
+	RegN             int     `json:"reg_n"`
+	DiffN            int     `json:"diff_n"`
+	Improved         int     `json:"improved"`
+	SetsPhased       int     `json:"sets_phased"`
+	SetsJoint        int     `json:"sets_joint"`
+	SpeedupPhasedPct float64 `json:"speedup_phased_pct"`
+	SpeedupJointPct  float64 `json:"speedup_joint_pct"`
+	BBNodes          int64   `json:"bb_nodes"`
 }
 
 // remapWorkload rebuilds the BenchmarkRemapGreedy setup from the root
@@ -182,7 +212,7 @@ func run(name string, fn func(b *testing.B)) result {
 
 func main() {
 	testing.Init()
-	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp|pipeline|alloc")
+	suite := flag.String("suite", "remap", "benchmark suite: remap|ilp|pipeline|alloc|modsched")
 	out := flag.String("o", "", "output file (- for stdout; default BENCH_<suite>.json)")
 	benchtime := flag.String("benchtime", "", "per-benchmark run time or count (e.g. 2s, 100x; default 1s)")
 	maxprocs := flag.Int("gomaxprocs", 0, "run suites under this GOMAXPROCS (0 = inherit); recorded in the host block so parallel-worker speedups are attributable")
@@ -220,8 +250,10 @@ func main() {
 		runPipelineSuite(&rep)
 	case "alloc":
 		runAllocSuite(&rep)
+	case "modsched":
+		runModschedSuite(&rep)
 	default:
-		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap, ilp, pipeline or alloc)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (want remap, ilp, pipeline, alloc or modsched)\n", *suite)
 		os.Exit(2)
 	}
 
@@ -632,4 +664,116 @@ func runAllocSuite(rep *report) {
 	}
 	rep.SpeedupSSAGeomean = math.Exp(logSum / float64(len(kernels)))
 	fmt.Fprintf(os.Stderr, "ssa-over-irc speedup (geomean): %.2fx\n", rep.SpeedupSSAGeomean)
+}
+
+// Modsched-suite configuration: the population sample is the first 300
+// loops of the seed-42 population (so numbers stay comparable across
+// revisions) compared at RegN=56/DiffN=32, the widest sweep point where
+// the phased remapper still leaves repairs on the table; the joint
+// worker-scaling lanes run a hard optimized loop at a tight geometry so
+// the branch-and-bound genuinely burns its node budget.
+const (
+	modschedSampleLoops = 300
+	modschedRegN        = 56
+	modschedBenchNodes  = 30000
+)
+
+// runModschedSuite benchmarks the phased modulo-scheduling pipeline
+// against the joint scheduling × allocation branch-and-bound: a phased
+// compile lane, joint-solve lanes at workers 1/2/4/8 with nodes/sec
+// (the work-stealing engine's throughput on ONE connected instance —
+// the case component decomposition cannot split), and the aggregate
+// joint-vs-phased cost deltas over the population sample.
+func runModschedSuite(rep *report) {
+	m := vliw.Default()
+	loops := workloads.SPECLoops(42, modschedSampleLoops)
+
+	// A deterministic hard instance: the first loop whose joint search
+	// exhausts the bench budget at a tight register geometry.
+	var hard *modsched.Loop
+	for _, l := range loops {
+		r, err := modsched.SolveJoint(l, m, 16, 4, modsched.JointOptions{Restarts: 40, Seed: 42, MaxNodes: modschedBenchNodes})
+		if err != nil {
+			continue
+		}
+		if !r.Skipped && r.Nodes >= modschedBenchNodes {
+			hard = l
+			break
+		}
+	}
+	if hard == nil {
+		fmt.Fprintln(os.Stderr, "benchjson: no hard joint instance in the sample")
+		os.Exit(1)
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks, run("ModschedPhased/hard", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := modsched.Compile(hard, m, 16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			regs := modsched.KernelRegs(s, 16)
+			modsched.EncodingCost(s, regs, 16, 4, 40, 42)
+		}
+	}))
+	reportNodes := func(b *testing.B, nodes int) {
+		b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		rep.Benchmarks = append(rep.Benchmarks, run(fmt.Sprintf("ModschedJoint/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			nodes := 0
+			for i := 0; i < b.N; i++ {
+				r, err := modsched.SolveJoint(hard, m, 16, 4, modsched.JointOptions{
+					Restarts: 40, Seed: 42, MaxNodes: modschedBenchNodes, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				nodes += r.Nodes
+			}
+			reportNodes(b, nodes)
+		}))
+	}
+
+	byName := map[string]result{}
+	for _, r := range rep.Benchmarks {
+		byName[r.Name] = r
+	}
+	if serial, w4 := byName["ModschedJoint/workers=1"], byName["ModschedJoint/workers=4"]; w4.NsPerOp > 0 {
+		rep.SpeedupJointWorkers4 = serial.NsPerOp / w4.NsPerOp
+	}
+	if serial, w8 := byName["ModschedJoint/workers=1"], byName["ModschedJoint/workers=8"]; w8.NsPerOp > 0 {
+		rep.SpeedupJointWorkers8 = serial.NsPerOp / w8.NsPerOp
+	}
+
+	// Population-level deltas: one RegN sweep point with the joint
+	// search on, reusing the experiment driver so the numbers match
+	// `vliwbench -joint` exactly.
+	cfg := experiments.DefaultVLIW()
+	cfg.Loops = modschedSampleLoops
+	cfg.RegNs = []int{modschedRegN}
+	cfg.Joint = true
+	vrep, err := experiments.RunVLIW(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	row := vrep.Rows[0]
+	rep.ModschedJoint = &modschedJointSummary{
+		Loops:            cfg.Loops,
+		Optimized:        vrep.Optimized,
+		RegN:             row.RegN,
+		DiffN:            cfg.DiffN,
+		Improved:         row.JointImproved,
+		SetsPhased:       row.SetLastRegs,
+		SetsJoint:        row.JointSetLastRegs,
+		SpeedupPhasedPct: row.SpeedupOptimized,
+		SpeedupJointPct:  row.JointSpeedupOptimized,
+		BBNodes:          row.JointNodes,
+	}
+	fmt.Fprintf(os.Stderr, "joint vs phased (%d loops, RegN=%d): %d improved, sets %d -> %d\n",
+		cfg.Loops, row.RegN, row.JointImproved, row.SetLastRegs, row.JointSetLastRegs)
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vliwbench [-loops N] [-seed N] [-json]
+//	vliwbench [-loops N] [-seed N] [-joint] [-json]
 package main
 
 import (
@@ -23,6 +23,8 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "population seed")
 	flag.IntVar(&cfg.Restarts, "restarts", cfg.Restarts, "kernel remapping restarts")
 	flag.IntVar(&cfg.Workers, "workers", cfg.Workers, "concurrent loop compilations (0 = GOMAXPROCS)")
+	flag.BoolVar(&cfg.Joint, "joint", false, "also run the combined scheduling x allocation branch-and-bound on optimized loops")
+	flag.IntVar(&cfg.JointMaxNodes, "joint-maxnodes", 0, "per-loop joint search budget (0 = default)")
 	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of tables")
 	flag.Parse()
 

@@ -163,9 +163,29 @@ func (rep *VLIWReport) WriteTable3(w io.Writer) {
 	t.write(w)
 }
 
-// WriteAll prints both VLIW tables.
+// WriteJoint prints the combined scheduling × allocation columns next
+// to their phased counterparts (only meaningful when the report ran
+// with Config.Joint).
+func (rep *VLIWReport) WriteJoint(w io.Writer) {
+	fmt.Fprintln(w, "Joint scheduling × allocation vs phased (optimized loops)")
+	t := &table{header: []string{"RegN", "improved", "sets phased", "sets joint", "speedup phased (%)", "speedup joint (%)", "b&b nodes"}}
+	for _, r := range rep.Rows {
+		t.add(fmt.Sprint(r.RegN), fmt.Sprint(r.JointImproved),
+			fmt.Sprint(r.SetLastRegs), fmt.Sprint(r.JointSetLastRegs),
+			f2(r.SpeedupOptimized), f2(r.JointSpeedupOptimized),
+			fmt.Sprint(r.JointNodes))
+	}
+	t.write(w)
+}
+
+// WriteAll prints both VLIW tables, plus the joint comparison when the
+// run produced one.
 func (rep *VLIWReport) WriteAll(w io.Writer) {
 	rep.WriteTable2(w)
 	fmt.Fprintln(w)
 	rep.WriteTable3(w)
+	if rep.Config.Joint {
+		fmt.Fprintln(w)
+		rep.WriteJoint(w)
+	}
 }

@@ -33,6 +33,14 @@ type VLIWConfig struct {
 	// Per-loop results land in indexed slots and the reductions stay
 	// sequential, so the report is identical at any worker count.
 	Workers int
+	// Joint additionally runs the combined scheduling × allocation
+	// branch-and-bound (modsched.SolveJoint) on every optimized loop at
+	// each RegN, warm-seeded with the phased result so it can never do
+	// worse; the report gains joint columns next to the phased ones.
+	Joint bool
+	// JointMaxNodes caps each loop's joint search (0: SolveJoint's
+	// default budget).
+	JointMaxNodes int
 }
 
 // DefaultVLIW returns the paper's configuration.
@@ -59,6 +67,16 @@ type VLIWRow struct {
 	GrowthOptimized, GrowthAll, GrowthAllCode float64
 	// SetLastRegs summed over optimized loops.
 	SetLastRegs int
+
+	// Joint-search aggregates over optimized loops (zero unless
+	// Config.Joint): how many loops the combined search strictly
+	// improved, its set_last_reg total next to the phased one above,
+	// the optimized-loop speedup with joint schedules, and the total
+	// branch-and-bound effort spent.
+	JointImproved         int     `json:",omitempty"`
+	JointSetLastRegs      int     `json:",omitempty"`
+	JointSpeedupOptimized float64 `json:",omitempty"`
+	JointNodes            int64   `json:",omitempty"`
 }
 
 // VLIWReport is the §10.2 experiment outcome.
@@ -137,6 +155,11 @@ func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
 	type loopCell struct {
 		spilled, sets, ops int
 		cycles             float64
+		// Joint-search results (Config.Joint only).
+		jointSets     int
+		jointCycles   float64
+		jointImproved bool
+		jointNodes    int
 	}
 	for _, regN := range cfg.RegNs {
 		row := VLIWRow{RegN: regN}
@@ -144,6 +167,27 @@ func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
 		err := pool.Map(ctx, len(bases), func(i int) error {
 			b := &bases[i]
 			if !b.optimized {
+				return nil
+			}
+			if cfg.Joint {
+				// SolveJoint runs the identical phased pipeline first, so
+				// the phased columns stay bit-identical to a non-joint run.
+				r, err := modsched.SolveJoint(b.loop, m, regN, cfg.DiffN, modsched.JointOptions{
+					Restarts: cfg.Restarts, Seed: cfg.Seed, MaxNodes: cfg.JointMaxNodes,
+				})
+				if err != nil {
+					return fmt.Errorf("loop %d regN %d: %w", i, regN, err)
+				}
+				cells[i] = loopCell{
+					spilled:       r.Phased.Spilled,
+					sets:          r.PhasedEnc,
+					ops:           len(r.Phased.Loop.Ops) + r.PhasedEnc,
+					cycles:        float64(r.PhasedCycles),
+					jointSets:     r.Enc,
+					jointCycles:   float64(r.Cycles),
+					jointImproved: r.Improved,
+					jointNodes:    r.Nodes,
+				}
 				return nil
 			}
 			s, err := modsched.Compile(b.loop, m, regN)
@@ -163,7 +207,7 @@ func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
 		if err != nil {
 			return nil, err
 		}
-		var optCycles, allCycles float64
+		var optCycles, allCycles, jointOptCycles float64
 		var optOps, optBaseOps, allOps, allBaseOps int
 		for i := range bases {
 			b := &bases[i]
@@ -183,8 +227,19 @@ func RunVLIW(cfg VLIWConfig) (*VLIWReport, error) {
 			optBaseOps += b.ops
 			allOps += cells[i].ops
 			allBaseOps += b.ops
+			if cfg.Joint {
+				row.JointSetLastRegs += cells[i].jointSets
+				jointOptCycles += cells[i].jointCycles
+				row.JointNodes += int64(cells[i].jointNodes)
+				if cells[i].jointImproved {
+					row.JointImproved++
+				}
+			}
 		}
 		row.SpeedupOptimized = speedupPct(optBaseCycles, optCycles)
+		if cfg.Joint {
+			row.JointSpeedupOptimized = speedupPct(optBaseCycles, jointOptCycles)
+		}
 		row.SpeedupAll = speedupPct(totalBaseCycles, allCycles)
 		// Overall time = loop time / share + fixed scalar remainder.
 		scalar := totalBaseCycles * (1 - cfg.LoopTimeShare) / cfg.LoopTimeShare

@@ -14,10 +14,15 @@ type bbState struct {
 	used    []int64
 	epoch   int64
 
+	// path is the decision sequence from the item root to the current
+	// search node; when a chunk suspends it becomes the frontier
+	// serialization (continuation + pending siblings).
+	path      []varFix
 	maxNodes  int
 	nodes     int
 	pruned    int
 	out       bool
+	suspended bool
 	cancel    func() bool
 	cancelled bool
 
@@ -36,23 +41,27 @@ func newBBState(c *comp) *bbState {
 	}
 }
 
-// itemResult is the outcome of searching one work item's subtree.
-type itemResult struct {
+// chunkResult is the outcome of searching one work item for one node
+// chunk: the incumbent (if the chunk improved on the bound it started
+// from) and, when the chunk budget expired mid-subtree, the item's
+// unexplored frontier as child fix-prefixes in DFS order.
+type chunkResult struct {
+	frontier  [][]varFix
 	found     bool
-	x         []bool // component-local assignment (only when found)
 	cost      float64
+	best      []bool
 	nodes     int
 	pruned    int
-	optimal   bool
 	cancelled bool
 }
 
-// solveItem searches the subtree selected by the item's root fixes.
-// The incumbent starts at the component greedy cost — the same bound
-// for every item of the component, so results are independent of the
-// order items are solved in (the determinism invariant the parallel
-// claim loop relies on).
-func (s *bbState) solveItem(it workItem, maxNodes int, cancel func() bool) itemResult {
+// solveChunk searches the subtree selected by the item's root fixes
+// for at most chunk nodes. bound is the epoch's incumbent bound for
+// the component (broadcast at the barrier) — the same value for every
+// item of the component in that epoch, so the outcome is a pure
+// function of (fixes, bound) and independent of which worker runs it
+// or in what order.
+func (s *bbState) solveChunk(fixes []varFix, bound float64, chunk int, cancel func() bool) chunkResult {
 	c := s.c
 	for i := range s.x {
 		s.x[i] = 0
@@ -62,30 +71,54 @@ func (s *bbState) solveItem(it workItem, maxNodes int, cancel func() bool) itemR
 		s.freeCnt[i] = len(cc.vars)
 	}
 	s.trail = s.trail[:0]
-	s.maxNodes = maxNodes
+	s.path = s.path[:0]
+	s.maxNodes = chunk
 	s.nodes, s.pruned = 0, 0
-	s.out, s.cancelled = false, false
+	s.out, s.suspended, s.cancelled = false, false, false
 	s.found, s.best = false, nil
-	s.bestCost = c.greedyCost
+	s.bestCost = bound
 	s.cancel = cancel
 
-	cur, ok := s.applyFixes(it.fixes)
-	if ok {
+	if cur, ok := s.applyFixes(fixes); ok {
 		s.branch(cur)
 	}
-	return itemResult{
+	r := chunkResult{
 		found:     s.found,
-		x:         s.best,
 		cost:      s.bestCost,
+		best:      s.best,
 		nodes:     s.nodes,
 		pruned:    s.pruned,
-		optimal:   !s.out,
 		cancelled: s.cancelled,
 	}
+	if s.suspended {
+		// Serialize the frontier: first the continuation (the full path
+		// to the suspension point — its node was NOT counted in this
+		// chunk and resumes exactly where the search stopped), then each
+		// pending 0-sibling of a path level still in its 1-branch,
+		// deepest first. That is the order the serial DFS would have
+		// visited them, so concatenating child results preserves the
+		// search's incumbent-improvement sequence.
+		cont := make([]varFix, 0, len(fixes)+len(s.path))
+		cont = append(append(cont, fixes...), s.path...)
+		r.frontier = append(r.frontier, cont)
+		for i := len(s.path) - 1; i >= 0; i-- {
+			if !s.path[i].one {
+				continue
+			}
+			child := make([]varFix, 0, len(fixes)+i+1)
+			child = append(append(child, fixes...), s.path[:i]...)
+			child = append(child, varFix{v: s.path[i].v, one: false})
+			r.frontier = append(r.frontier, child)
+		}
+	}
+	return r
 }
 
 // applyFixes replays the item's root decisions; false means the
 // prefix is infeasible (exclusivity conflict) and the subtree empty.
+// Replay is not counted against the node budget, so a continuation
+// item resumes with the same total node count the uninterrupted search
+// would have had.
 func (s *bbState) applyFixes(fixes []varFix) (float64, bool) {
 	cur := 0.0
 	for _, f := range fixes {
@@ -159,16 +192,22 @@ func (s *bbState) unwindTo(mark int) {
 }
 
 // branch explores the subtree under the current trail. cur is the
-// cost of variables fixed to 1 so far.
+// cost of variables fixed to 1 so far. When the chunk's node budget
+// expires the search suspends AT node entry, before the node is
+// counted or expanded: the recursion unwinds with s.path frozen on the
+// root-to-here decision sequence, which solveChunk serializes into the
+// frontier. A continuation item replaying that path re-enters this
+// node with identical trail state, so the resumed search explores
+// exactly the nodes the uninterrupted one would have.
 func (s *bbState) branch(cur float64) {
 	if s.out {
 		return
 	}
-	s.nodes++
-	if s.nodes > s.maxNodes {
-		s.out = true
+	if s.nodes >= s.maxNodes {
+		s.out, s.suspended = true, true
 		return
 	}
+	s.nodes++
 	if s.cancel != nil && s.nodes&63 == 0 && s.cancel() {
 		s.out = true
 		s.cancelled = true
@@ -220,16 +259,24 @@ func (s *bbState) branch(cur float64) {
 	}
 
 	mark := len(s.trail)
+	s.path = append(s.path, varFix{v: bv, one: true})
 	if s.fixOne(bv) {
 		s.branch(cur + s.c.costs[bv])
 	}
 	s.unwindTo(mark)
 	if s.out {
+		// Suspended (or cancelled) inside the 1-branch: the path keeps
+		// {bv, one} so the 0-sibling is emitted as pending frontier.
 		return
 	}
+	s.path[len(s.path)-1] = varFix{v: bv, one: false}
 	s.fix(bv, -1)
 	s.branch(cur)
 	s.unwindTo(mark)
+	if s.out {
+		return
+	}
+	s.path = s.path[:len(s.path)-1]
 }
 
 // lowerBound is the greedy surrogate bound: walking unmet constraints

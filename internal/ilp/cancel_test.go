@@ -26,9 +26,10 @@ func assertFeasible(t *testing.T, p Problem, x []bool) {
 
 func TestCancelStopsSearch(t *testing.T) {
 	// HardOverlap is one connected component, so preprocessing cannot
-	// shortcut it and the search genuinely burns nodes.
+	// shortcut it and the search genuinely burns nodes (the default
+	// per-component budget is exhausted entirely).
 	p := HardOverlap(8, 12, 6)
-	full := Solve(p, Options{MaxNodes: 2000})
+	full := Solve(p, Options{})
 	if full.Nodes < 10000 {
 		t.Fatalf("instance too easy to observe cancellation: %d nodes", full.Nodes)
 	}
@@ -36,7 +37,7 @@ func TestCancelStopsSearch(t *testing.T) {
 	// An immediately-true cancel hook is polled every ~64 nodes and
 	// before each work item, so the cancelled search must stop after a
 	// small fraction of the full run.
-	sol := Solve(p, Options{MaxNodes: 2000, Cancel: func() bool { return true }})
+	sol := Solve(p, Options{Cancel: func() bool { return true }})
 	if !sol.Cancelled {
 		t.Fatal("Cancelled not reported")
 	}

@@ -15,11 +15,13 @@
 // dominance), splits the constraint hypergraph into connected
 // components, and searches each component with a trail-based branch
 // and bound using an incrementally-maintained disjoint-sum lower
-// bound. Components — and deterministic root-fixed subtrees of large
-// components — form a fixed work-item list solved across
-// Options.Workers goroutines with the atomic-claim protocol from
-// internal/remap; the reduction is worker-count independent, so X,
-// Cost, Optimal and Nodes are bit-identical at any worker count. The
+// bound. The search runs in fixed-size node chunks on a deterministic
+// work-stealing scheduler (steal.go): a chunk that exhausts its budget
+// serializes its unexplored frontier into new work items, and
+// incumbent bounds broadcast at epoch barriers, so the item population
+// adapts to where the instance is hard — including connected instances
+// decomposition cannot split — while X, Cost, Optimal, Nodes and
+// Pruned stay bit-identical at any Options.Workers. The
 // pre-decomposition solver is retained as LegacySolve (benchmark
 // baseline and quality oracle).
 package ilp
@@ -67,9 +69,11 @@ type Problem struct {
 
 // Options bounds the search.
 type Options struct {
-	// MaxNodes caps branch-and-bound nodes per independently-solved
-	// work item (0: 500000). The cap is per item, not global, so the
-	// budget semantics are independent of the worker count.
+	// MaxNodes caps branch-and-bound nodes per connected component
+	// (0: 500000). The scheduler's admission control keeps the
+	// deterministic overshoot under about one chunk, so the budget —
+	// like everything else in Solution — is independent of the worker
+	// count.
 	MaxNodes int
 	// Cancel, when non-nil, is polled about every 64 nodes by every
 	// worker; returning true aborts the search. The solution reports
@@ -80,6 +84,11 @@ type Options struct {
 	// concurrently (0 or 1: serial). The result is bit-identical at
 	// any worker count.
 	Workers int
+	// Stats, when non-nil, accumulates work-stealing scheduler
+	// telemetry (steals, epochs, bound broadcasts, items). Steal
+	// counts are timing-dependent, which is why they are reported
+	// here and not in Solution.
+	Stats *StealStats
 }
 
 // Solution is the solver output.
@@ -130,40 +139,32 @@ func Solve(p Problem, opts Options) Solution {
 		return sol
 	}
 
-	items := buildItems(pre)
-	results := solveItems(pre, items, maxNodes, opts)
+	outs := solveSteal(pre, maxNodes, opts)
 
-	// Deterministic reduce: per component, the best item result by
-	// (cost, lowest item index); greedy incumbent as fallback.
+	// The steal engine already reduced per component (best incumbent by
+	// (cost, lowest item index), bounds broadcast at epoch barriers);
+	// assemble the global assignment with the greedy incumbent backing
+	// any component whose search improved on nothing.
 	x := make([]bool, n)
 	for v := 0; v < n; v++ {
 		x[v] = pre.fixed[v] == 1
 	}
 	optimal := true
-	for ci, c := range pre.comps {
-		bestItem := -1
-		compOptimal := true
-		for idx, it := range items {
-			if it.comp != ci {
-				continue
-			}
-			r := results[idx]
-			sol.Nodes += r.nodes
-			sol.Pruned += r.pruned
-			if r.cancelled {
-				sol.Cancelled = true
-			}
-			if !r.optimal {
-				compOptimal = false
-			}
-			if r.found && (bestItem < 0 || r.cost < results[bestItem].cost) {
-				bestItem = idx
-			}
+	for _, o := range outs {
+		sol.Nodes += o.Nodes
+		sol.Pruned += o.Pruned
+		if o.Cancelled {
+			sol.Cancelled = true
 		}
+		if o.Exhausted {
+			optimal = false
+		}
+	}
+	for ci, c := range pre.comps {
+		o := outs[ci]
 		switch {
-		case bestItem >= 0:
-			r := results[bestItem]
-			for li, on := range r.x {
+		case o.Found:
+			for li, on := range o.Best {
 				x[c.vars[li]] = on
 			}
 		case c.greedy != nil:
@@ -171,16 +172,14 @@ func Solve(p Problem, opts Options) Solution {
 				x[c.vars[li]] = on
 			}
 		default:
-			// No feasible assignment found for this component; if every
-			// item finished, that is a proof of infeasibility, otherwise
-			// the budget ran out before one was found. Either way the
-			// whole instance has no known feasible solution.
+			// No feasible assignment found for this component; if the
+			// frontier drained, that is a proof of infeasibility,
+			// otherwise the budget (or cancellation) cut the search
+			// short. Either way the whole instance has no known feasible
+			// solution.
 			sol.Cost = inf
 			sol.Optimal = false
 			return sol
-		}
-		if !compOptimal {
-			optimal = false
 		}
 	}
 	sol.X = x

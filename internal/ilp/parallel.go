@@ -1,18 +1,13 @@
 package ilp
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
-// Work items are the unit of parallelism: each is one component, or a
-// root-fixed subtree of a large component. The item list is computed
-// by a worker-count-INDEPENDENT policy and each item's search is
-// serially deterministic with an order-independent starting incumbent
-// (the component greedy), so claiming items from an atomic counter and
-// reducing by (cost, lowest item index) yields bit-identical X, Cost,
-// Optimal and Nodes at any worker count — the protocol proven in
-// internal/remap.
+// Work items are the unit of parallelism: each is a root-fixed subtree
+// of one component (epoch 0: the whole component, no fixes). Items are
+// produced by the search itself — a chunk that exhausts its node
+// budget serializes its unexplored frontier into child items — and
+// scheduled by the deterministic work-stealing engine in steal.go, so
+// the item population adapts to where the instance is actually hard
+// instead of being guessed up front. X, Cost, Optimal, Nodes and
+// Pruned remain bit-identical at any worker count.
 
 // varFix is one root decision of a work item: variable v fixed to 1
 // (with exclusivity propagation) or to 0.
@@ -26,161 +21,56 @@ type workItem struct {
 	fixes []varFix
 }
 
-const (
-	// splitTargetItems bounds how many items the splitter produces;
-	// fixed (never derived from Workers) to keep the item list — and
-	// therefore Nodes — identical at every worker count.
-	splitTargetItems = 32
-	// splitMinVars: components smaller than this are one item; their
-	// search is too cheap to be worth subdividing.
-	splitMinVars = 24
-	// splitMaxFixes caps the depth of root fixing per item.
-	splitMaxFixes = 6
-)
-
-// buildItems produces the deterministic work-item list: one item per
-// component, then the item with the most free variables is repeatedly
-// split into its two root branches (1-branch first, preserving DFS
-// order) until the target item count is reached or nothing remains
-// splittable.
-func buildItems(pre *preprocessed) []workItem {
-	var items []workItem
-	splittable := make([]bool, 0, len(pre.comps))
+// solveSteal runs the decomposed search on the work-stealing engine:
+// one group per component, seeded with one fix-free item each and the
+// component greedy cost as the starting incumbent bound.
+func solveSteal(pre *preprocessed, maxNodes int, opts Options) []GroupOut[[]bool] {
+	items := make([]workItem, len(pre.comps))
+	bounds := make([]float64, len(pre.comps))
 	for ci, c := range pre.comps {
-		items = append(items, workItem{comp: ci})
-		splittable = append(splittable, len(c.vars) >= splitMinVars)
+		items[ci] = workItem{comp: ci}
+		bounds[ci] = c.greedyCost
 	}
-	scratch := map[int]*bbState{}
-	for len(items) < splitTargetItems {
-		pick, pickFree := -1, -1
-		for idx, it := range items {
-			if !splittable[idx] || len(it.fixes) >= splitMaxFixes {
-				continue
-			}
-			free := len(pre.comps[it.comp].vars) - len(it.fixes)
-			if free > pickFree {
-				pick, pickFree = idx, free
-			}
-		}
-		if pick < 0 {
-			break
-		}
-		it := items[pick]
-		st := scratch[it.comp]
-		if st == nil {
-			st = newBBState(pre.comps[it.comp])
-			scratch[it.comp] = st
-		}
-		bv, ok := st.branchVarUnder(it.fixes)
-		if !ok {
-			// The item's prefix is infeasible or already satisfies every
-			// constraint; its search is trivial, nothing to split.
-			splittable[pick] = false
-			continue
-		}
-		one := workItem{comp: it.comp, fixes: append(append([]varFix{}, it.fixes...), varFix{v: bv, one: true})}
-		zero := workItem{comp: it.comp, fixes: append(append([]varFix{}, it.fixes...), varFix{v: bv, one: false})}
-		items[pick] = one
-		items = append(items, workItem{})
-		copy(items[pick+2:], items[pick+1:])
-		items[pick+1] = zero
-		splittable = append(splittable, false)
-		copy(splittable[pick+2:], splittable[pick+1:])
-		splittable[pick+1] = splittable[pick]
-	}
-	return items
-}
-
-// branchVarUnder applies the fixes and returns the variable the
-// search itself would branch on first — the splitter uses the exact
-// branching rule, so the two children partition the item's subtree.
-func (s *bbState) branchVarUnder(fixes []varFix) (int, bool) {
-	c := s.c
-	for i := range s.x {
-		s.x[i] = 0
-	}
-	for i, cc := range c.cons {
-		s.deficit[i] = cc.need
-		s.freeCnt[i] = len(cc.vars)
-	}
-	s.trail = s.trail[:0]
-	if _, ok := s.applyFixes(fixes); !ok {
-		return 0, false
-	}
-	branchCon, bestSlack := -1, 0
-	for i := range c.cons {
-		d := s.deficit[i]
-		if d <= 0 {
-			continue
-		}
-		if s.freeCnt[i] < d {
-			return 0, false
-		}
-		slack := s.freeCnt[i] - d
-		if branchCon < 0 || slack < bestSlack {
-			branchCon, bestSlack = i, slack
-		}
-	}
-	if branchCon < 0 {
-		return 0, false
-	}
-	for _, v := range c.cons[branchCon].sorted {
-		if s.x[v] == 0 {
-			return v, true
-		}
-	}
-	return 0, false
-}
-
-// solveItems runs the item list across the configured workers. Each
-// result slot is written by exactly one goroutine; items claimed after
-// cancellation record only the cancelled flag so the reduce sees a
-// non-optimal, greedy-backed component.
-func solveItems(pre *preprocessed, items []workItem, maxNodes int, opts Options) []itemResult {
-	results := make([]itemResult, len(items))
 	workers := opts.Workers
-	if workers <= 0 {
+	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(items) {
-		workers = len(items)
-	}
-	solveOne := func(states map[int]*bbState, i int) {
-		if opts.Cancel != nil && opts.Cancel() {
-			results[i] = itemResult{cancelled: true}
-			return
-		}
-		it := items[i]
-		st := states[it.comp]
-		if st == nil {
-			st = newBBState(pre.comps[it.comp])
-			states[it.comp] = st
-		}
-		results[i] = st.solveItem(it, maxNodes, opts.Cancel)
-	}
-	if workers <= 1 {
-		states := map[int]*bbState{}
-		for i := range items {
-			solveOne(states, i)
-		}
-		return results
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			states := map[int]*bbState{}
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(items) {
-					return
-				}
-				solveOne(states, i)
+	// Per-worker scratch arenas, keyed by component; each index is
+	// only ever touched by the goroutine running as worker w.
+	states := make([]map[int]*bbState, workers)
+	return RunSteal(StealConfig[workItem, []bool]{
+		Groups:   len(pre.comps),
+		GroupOf:  func(it workItem) int { return it.comp },
+		Items:    items,
+		Bound:    bounds,
+		MaxNodes: maxNodes,
+		Workers:  workers,
+		Cancel:   opts.Cancel,
+		Stats:    opts.Stats,
+		Run: func(w int, it workItem, bound float64, chunk int) ChunkOut[workItem, []bool] {
+			m := states[w]
+			if m == nil {
+				m = map[int]*bbState{}
+				states[w] = m
 			}
-		}()
-	}
-	wg.Wait()
-	return results
+			st := m[it.comp]
+			if st == nil {
+				st = newBBState(pre.comps[it.comp])
+				m[it.comp] = st
+			}
+			r := st.solveChunk(it.fixes, bound, chunk, opts.Cancel)
+			out := ChunkOut[workItem, []bool]{
+				Found:     r.found,
+				Cost:      r.cost,
+				Best:      r.best,
+				Nodes:     r.nodes,
+				Pruned:    r.pruned,
+				Cancelled: r.cancelled,
+			}
+			for _, f := range r.frontier {
+				out.Children = append(out.Children, workItem{comp: it.comp, fixes: f})
+			}
+			return out
+		},
+	})
 }

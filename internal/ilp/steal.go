@@ -1,0 +1,325 @@
+package ilp
+
+// Deterministic work-stealing scheduler for branch-and-bound searches.
+//
+// The PR 5 protocol split every instance into a FIXED work-item list up
+// front and claimed items off an atomic counter. That scales only when
+// the split guesses the hard subtrees correctly; on a connected
+// instance whose difficulty concentrates in one region — the joint
+// modulo-scheduling model is the standing example — most pre-split
+// items finish instantly and one worker grinds the rest alone. This
+// engine replaces the static split with dynamic frontier splitting
+// scheduled by work stealing, while keeping the solver's determinism
+// contract: the returned solution is bit-identical at any worker count.
+//
+// The determinism argument, in three invariants:
+//
+//  1. Work items are generated deterministically. Search runs in
+//     epochs. An item searched within an epoch runs for at most a fixed
+//     node chunk; when the chunk expires, the item's unexplored
+//     frontier is serialized into child items (a pure function of the
+//     item and the epoch's incumbent bound, never of the worker or the
+//     clock). The children of epoch e, in item order, seed epoch e+1.
+//  2. Incumbents broadcast only at epoch barriers. Every item of epoch
+//     e starts from the same bound B_e[group] — the best cost proved by
+//     epochs < e ("epoch-stamped bound tightening"). A better incumbent
+//     found mid-epoch tightens nothing until the barrier, so an item's
+//     node count cannot depend on a neighbour's timing.
+//  3. The reduce is order-fixed. Item results are reduced in item-index
+//     order: ties between equal-cost incumbents resolve to the lowest
+//     item index, and node/prune counters are summed in the same fixed
+//     order.
+//
+// Within an epoch, items are dealt round-robin onto per-worker deques;
+// an idle worker first drains its own deque from the bottom, then
+// steals from the top of its victims' deques in fixed order (w+1, w+2,
+// ... mod W). Stealing moves only *which goroutine* runs an item —
+// by invariants 1–3 it cannot move the result, so the steal count is
+// the single timing-dependent output, and it is reported through
+// StealStats rather than the Solution.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stealChunkNodes is the node budget of one work-item chunk. Small
+// enough that the frontier re-splits (and the incumbent re-broadcasts)
+// many times per second on hard instances; large enough that the
+// per-chunk replay of root fixes is noise.
+const stealChunkNodes = 2048
+
+// StealStats reports scheduler behaviour for telemetry. Epochs,
+// Broadcasts and Items are deterministic at any worker count; Steals
+// depends on scheduling timing and is excluded from the solver's
+// determinism contract (which is why it lives here and NOT in
+// Solution).
+type StealStats struct {
+	// Steals counts items a worker took from another worker's deque.
+	Steals int64
+	// Epochs is the number of barrier-synchronized search rounds.
+	Epochs int64
+	// Broadcasts counts incumbent bound tightenings applied at epoch
+	// barriers.
+	Broadcasts int64
+	// Items is the total number of work items scheduled (initial plus
+	// frontier children).
+	Items int64
+}
+
+// Merge accumulates another stats block into s (nil-safe).
+func (s *StealStats) Merge(o StealStats) { s.add(o) }
+
+func (s *StealStats) add(o StealStats) {
+	if s == nil {
+		return
+	}
+	s.Steals += o.Steals
+	s.Epochs += o.Epochs
+	s.Broadcasts += o.Broadcasts
+	s.Items += o.Items
+}
+
+// ChunkOut is the outcome of searching one work item for one chunk.
+// P is the incumbent payload (the caller's solution representation).
+type ChunkOut[I, P any] struct {
+	// Children is the item's unexplored frontier, empty when the
+	// subtree was exhausted within the chunk. Order matters: it becomes
+	// part of the group's deterministic pending-queue order.
+	Children []I
+	// Found/Cost/Best report an incumbent strictly better than the
+	// bound the chunk started from.
+	Found bool
+	Cost  float64
+	Best  P
+	// Nodes and Pruned are search-effort counters for this chunk.
+	Nodes  int
+	Pruned int
+	// Cancelled is set when the caller's cancel hook fired mid-chunk.
+	Cancelled bool
+}
+
+// StealConfig configures one RunSteal invocation. Run must be a pure
+// function of (item, bound) up to the per-worker scratch state selected
+// by w — it may NOT depend on timing, on other items, or on w in any
+// way that changes its output; the engine's determinism guarantee is
+// conditional on that contract.
+type StealConfig[I, P any] struct {
+	// Groups is the number of independent solution groups (connected
+	// components for the spill ILP; 1 for the joint scheduler). Each
+	// group reduces to its own incumbent and node budget.
+	Groups  int
+	GroupOf func(I) int
+	// Items is the initial item list.
+	Items []I
+	// Bound is the starting incumbent cost per group (+Inf when no
+	// incumbent exists). Only strictly better solutions are reported.
+	Bound []float64
+	// MaxNodes caps the summed node count per group. Admission control
+	// enforces it exactly: an epoch admits at most ceil(remaining/chunk)
+	// of a group's pending items and trims the last item's chunk to the
+	// remainder. A group whose budget hits zero with pending work left
+	// is marked Exhausted and its frontier is dropped.
+	MaxNodes int
+	Workers  int
+	Cancel   func() bool
+	// Run searches one item for at most chunk nodes against the given
+	// incumbent bound.
+	Run   func(w int, it I, bound float64, chunk int) ChunkOut[I, P]
+	Stats *StealStats
+}
+
+// GroupOut is the deterministic per-group reduction of a RunSteal.
+type GroupOut[P any] struct {
+	Found     bool
+	Cost      float64
+	Best      P
+	Nodes     int
+	Pruned    int
+	Exhausted bool // node budget ran out with frontier remaining
+	Cancelled bool
+}
+
+// RunSteal drives the epoch loop: admit pending items under the node
+// budget, schedule them across the workers' deques, barrier, reduce in
+// item order, broadcast the tightened bounds, and go again on the
+// frontier the epoch emitted.
+func RunSteal[I, P any](cfg StealConfig[I, P]) []GroupOut[P] {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	outs := make([]GroupOut[P], cfg.Groups)
+	bound := append([]float64(nil), cfg.Bound...)
+	nodesUsed := make([]int, cfg.Groups)
+	pending := make([][]I, cfg.Groups)
+	for _, it := range cfg.Items {
+		g := cfg.GroupOf(it)
+		pending[g] = append(pending[g], it)
+	}
+	var stats StealStats
+	cancelled := false
+	for {
+		// Admission: per group, at most as many chunks as the remaining
+		// node budget can pay for, with the last admitted item's chunk
+		// trimmed to the remainder so the budget is enforced exactly.
+		// The epoch item list concatenates the groups' admitted prefixes
+		// in group order (all deterministic).
+		var items []I
+		var chunks []int
+		for g := range pending {
+			if len(pending[g]) == 0 {
+				continue
+			}
+			remaining := cfg.MaxNodes - nodesUsed[g]
+			if cancelled || remaining <= 0 {
+				if !cancelled {
+					outs[g].Exhausted = true
+				}
+				pending[g] = nil
+				continue
+			}
+			admit := (remaining + stealChunkNodes - 1) / stealChunkNodes
+			if admit > len(pending[g]) {
+				admit = len(pending[g])
+			}
+			for j := 0; j < admit; j++ {
+				chunk := remaining - j*stealChunkNodes
+				if chunk > stealChunkNodes {
+					chunk = stealChunkNodes
+				}
+				items = append(items, pending[g][j])
+				chunks = append(chunks, chunk)
+			}
+			pending[g] = pending[g][admit:]
+		}
+		if len(items) == 0 {
+			break
+		}
+		stats.Epochs++
+		stats.Items += int64(len(items))
+		results := runEpoch(cfg, items, chunks, bound, workers, &stats, &cancelled)
+
+		for idx := range results {
+			r := &results[idx]
+			g := cfg.GroupOf(items[idx])
+			o := &outs[g]
+			o.Nodes += r.Nodes
+			o.Pruned += r.Pruned
+			nodesUsed[g] += r.Nodes
+			if r.Cancelled {
+				o.Cancelled = true
+				cancelled = true
+			}
+			if r.Found && r.Cost < bound[g] {
+				bound[g] = r.Cost
+				o.Found, o.Cost, o.Best = true, r.Cost, r.Best
+				stats.Broadcasts++
+			}
+			pending[g] = append(pending[g], r.Children...)
+		}
+	}
+	if cancelled {
+		for g := range outs {
+			outs[g].Cancelled = true
+		}
+	}
+	cfg.Stats.add(stats)
+	return outs
+}
+
+// runEpoch executes one epoch's fixed item list and returns the
+// per-item results (indexed slots, one writer each). The serial path
+// and the deque path produce identical results because item outcomes
+// do not depend on execution order within an epoch.
+func runEpoch[I, P any](cfg StealConfig[I, P], items []I, chunks []int, bound []float64, workers int, stats *StealStats, cancelled *bool) []ChunkOut[I, P] {
+	results := make([]ChunkOut[I, P], len(items))
+	runOne := func(w, idx int) {
+		// cancelled is only written between epochs, so reading it from
+		// the workers is race-free.
+		if *cancelled || (cfg.Cancel != nil && cfg.Cancel()) {
+			results[idx] = ChunkOut[I, P]{Cancelled: true}
+			return
+		}
+		results[idx] = cfg.Run(w, items[idx], bound[cfg.GroupOf(items[idx])], chunks[idx])
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers == 1 {
+		for idx := range items {
+			runOne(0, idx)
+		}
+		return results
+	}
+
+	// Deal items round-robin: deque w holds indices w, w+W, w+2W, ...
+	// in FIFO order from the top.
+	deques := make([]workDeque, workers)
+	for idx := range items {
+		w := idx % workers
+		deques[w].items = append(deques[w].items, idx)
+	}
+	var steals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				idx, ok := deques[w].popBottom()
+				if !ok {
+					// Own deque drained: steal from victims in fixed
+					// order w+1, w+2, ... mod W, taking the oldest item
+					// (the top) to keep contention off the victim's
+					// working end.
+					for d := 1; d < workers; d++ {
+						idx, ok = deques[(w+d)%workers].popTop()
+						if ok {
+							steals.Add(1)
+							break
+						}
+					}
+				}
+				if !ok {
+					return
+				}
+				runOne(w, idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.Steals += steals.Load()
+	return results
+}
+
+// workDeque is a per-worker double-ended queue of item indices. A
+// mutex suffices: operations are per-chunk (thousands of search nodes),
+// not per-node, so contention is negligible next to the search itself.
+type workDeque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+func (d *workDeque) popBottom() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return 0, false
+	}
+	idx := d.items[n-1]
+	d.items = d.items[:n-1]
+	return idx, true
+}
+
+func (d *workDeque) popTop() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	idx := d.items[0]
+	d.items = d.items[1:]
+	return idx, true
+}

@@ -104,15 +104,16 @@ func KernelRegs(s *Schedule, regN int) []int {
 	return regOf
 }
 
-// AccessSequence returns the register access sequence of one kernel
-// iteration: VLIW rows in cycle order, operations within a row in
+// accessOrder returns one kernel iteration's register accesses as
+// value op ids: VLIW rows in cycle order, operations within a row in
 // index order, inputs before output — the nominal access order of §2
-// lifted to wide issue.
-func AccessSequence(s *Schedule, regOf []int) []int {
+// lifted to wide issue. Stores produce no value and are skipped; their
+// inputs still appear.
+func accessOrder(l *Loop, time []int, ii int) []int {
 	type slot struct{ row, id int }
 	var slots []slot
-	for i := range s.Loop.Ops {
-		slots = append(slots, slot{((s.Time[i] % s.II) + s.II) % s.II, i})
+	for i := range l.Ops {
+		slots = append(slots, slot{((time[i] % ii) + ii) % ii, i})
 	}
 	sort.Slice(slots, func(a, b int) bool {
 		if slots[a].row != slots[b].row {
@@ -122,12 +123,25 @@ func AccessSequence(s *Schedule, regOf []int) []int {
 	})
 	var seq []int
 	for _, sl := range slots {
-		for _, d := range s.Loop.Ops[sl.id].Deps {
-			if r := regOf[d.From]; r >= 0 {
-				seq = append(seq, r)
+		for _, d := range l.Ops[sl.id].Deps {
+			if l.Ops[d.From].Kind != vliw.KindStore {
+				seq = append(seq, d.From)
 			}
 		}
-		if r := regOf[sl.id]; r >= 0 {
+		if l.Ops[sl.id].Kind != vliw.KindStore {
+			seq = append(seq, sl.id)
+		}
+	}
+	return seq
+}
+
+// AccessSequence maps accessOrder through a register assignment,
+// dropping values the assignment skipped (regOf < 0).
+func AccessSequence(s *Schedule, regOf []int) []int {
+	ids := accessOrder(s.Loop, s.Time, s.II)
+	seq := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if r := regOf[id]; r >= 0 {
 			seq = append(seq, r)
 		}
 	}

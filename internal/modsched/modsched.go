@@ -17,6 +17,7 @@ package modsched
 import (
 	"fmt"
 
+	"diffra/internal/bitset"
 	"diffra/internal/vliw"
 )
 
@@ -315,7 +316,7 @@ func Compile(l *Loop, m vliw.Machine, regN int) (*Schedule, error) {
 	}
 	spilled := 0
 	spillOps := 0
-	spilledSet := map[int]bool{}
+	spilledSet := bitset.New(len(l.Ops))
 	for round := 0; round <= len(l.Ops)+4; round++ {
 		time, ii, err := scheduleLoop(work, m)
 		if err != nil {
@@ -360,14 +361,14 @@ func scheduleLoop(l *Loop, m vliw.Machine) ([]int, int, error) {
 // store after its definition and a load before each use. It returns
 // the number of operations added, 0 if nothing is spillable (every
 // remaining value is a memory op or has minimal lifetime).
-func spillOne(l *Loop, time []int, ii int, spilledSet map[int]bool) int {
+func spillOne(l *Loop, time []int, ii int, spilledSet *bitset.Set) int {
 	// Find the unspilled value with the longest lifetime.
 	best, bestLife := -1, 1
 	for def, op := range l.Ops {
 		if op.Kind == vliw.KindStore || op.Kind == vliw.KindLoad {
 			continue // avoid respilling memory ops (spill temps included)
 		}
-		if spilledSet[def] {
+		if spilledSet.Has(def) {
 			continue
 		}
 		start := time[def]
@@ -393,7 +394,7 @@ func spillOne(l *Loop, time []int, ii int, spilledSet map[int]bool) int {
 	if best < 0 {
 		return 0
 	}
-	spilledSet[best] = true
+	spilledSet.Add(best)
 
 	// Rewrite: a store right after the definition ends the value's
 	// register lifetime; each consumer reloads through a load that

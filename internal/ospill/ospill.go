@@ -91,6 +91,9 @@ type Stats struct {
 	ILPPruned int
 	// Cancelled is true when the solve was aborted by a Cancel hook.
 	Cancelled bool
+	// Steal reports the solver's work-stealing scheduler behaviour
+	// (epochs, scheduled items, bound broadcasts, steals).
+	Steal ilp.StealStats
 }
 
 // SpillProblem builds the covering instance for f with K registers:
@@ -163,7 +166,7 @@ func DecideSpillsCancel(f *ir.Func, k, maxNodes, workers int, cancel func() bool
 		st.ILPOptimal = true
 		return spills, st
 	}
-	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Workers: workers, Cancel: cancel})
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Workers: workers, Cancel: cancel, Stats: &st.Steal})
 	st.ILPOptimal = sol.Optimal
 	st.ILPNodes = sol.Nodes
 	st.ILPComponents = sol.Components
@@ -197,9 +200,11 @@ func DecideSpillsExtendedCancel(f *ir.Func, k, maxNodes, workers int, cancel fun
 		st.ILPOptimal = true
 		return spills, nil, st
 	}
-	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Workers: workers, Cancel: cancel})
+	sol := ilp.Solve(prob, ilp.Options{MaxNodes: maxNodes, Workers: workers, Cancel: cancel, Stats: &st.Steal})
 	if sol.X == nil {
+		extended := st.Steal
 		spills, st = DecideSpillsCancel(f, k, maxNodes, workers, cancel)
+		st.Steal.Merge(extended) // keep the abandoned extended solve's effort visible
 		return spills, nil, st
 	}
 	st.ILPOptimal = sol.Optimal
@@ -245,6 +250,10 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 	ilpSpan.Add("pruned", int64(st.ILPPruned))
 	ilpSpan.Add("spilled_ranges", int64(st.ILPSpilled))
 	ilpSpan.Add("loop_spills", int64(st.LoopSpilled))
+	ilpSpan.Add("steal_epochs", st.Steal.Epochs)
+	ilpSpan.Add("steal_items", st.Steal.Items)
+	ilpSpan.Add("steal_broadcasts", st.Steal.Broadcasts)
+	ilpSpan.Add("steals", st.Steal.Steals)
 	ilpSpan.SetAttr("optimal", st.ILPOptimal)
 	ilpSpan.SetAttr("cancelled", st.Cancelled)
 	ilpSpan.End()
@@ -253,6 +262,14 @@ func Allocate(f *ir.Func, opts Options) (*ir.Func, *regalloc.Assignment, *Stats,
 		// visible in `diffra -metrics` output instead.
 		telemetry.Default.Counter("spill_nonoptimal").Inc()
 	}
+	// Work-stealing scheduler health: epochs/items/broadcasts are
+	// deterministic per workload (a drift signals a search change);
+	// steals are the one timing-dependent number and the only direct
+	// evidence in production that the dynamic splitter is balancing.
+	telemetry.Default.Counter("ilp_steal_epochs").Add(st.Steal.Epochs)
+	telemetry.Default.Counter("ilp_steal_items").Add(st.Steal.Items)
+	telemetry.Default.Counter("ilp_steal_broadcasts").Add(st.Steal.Broadcasts)
+	telemetry.Default.Counter("ilp_steals").Add(st.Steal.Steals)
 	if st.Cancelled || (opts.Cancel != nil && opts.Cancel()) {
 		return nil, nil, nil, ErrCancelled
 	}

@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"diffra/internal/modsched"
+	"diffra/internal/vliw"
+)
+
+// TestSPECPopulationGolden pins the full 1928-loop population at the
+// experiment seed (42): a content hash over every loop's shape and
+// unconstrained schedule, the MaxLive histogram, and the paper-facing
+// pressure shares (§10.2: ~11% of loops exceed 32 registers and carry
+// over 30% of loop cycles). A failure means the generator or the
+// scheduler changed behind the recorded experiments — intended changes
+// must update this table AND re-run the vliwbench tables.
+func TestSPECPopulationGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles all 1928 loops")
+	}
+	m := vliw.Default()
+	loops := SPECLoops(42, SPECLoopCount)
+	if len(loops) != 1928 {
+		t.Fatalf("population size %d, want 1928", len(loops))
+	}
+
+	h := fnv.New64a()
+	high, totalCycles, highCycles := 0, 0, 0
+	hist := map[int]int{} // MaxLive histogram, buckets of 8
+	for _, l := range loops {
+		s, err := modsched.Compile(l, m, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := s.Cycles()
+		totalCycles += c
+		if s.MaxLive > m.ArchRegs {
+			high++
+			highCycles += c
+		}
+		hist[s.MaxLive/8]++
+		fmt.Fprintf(h, "%d %d %d %d %d\n", len(l.Ops), l.Trip, s.II, s.MaxLive, c)
+	}
+
+	if got, want := h.Sum64(), uint64(0xb5e5d432c9acbcdb); got != want {
+		t.Errorf("population hash %#x, golden %#x", got, want)
+	}
+	if high != 194 {
+		t.Errorf("high-pressure loops %d, golden 194 (10.06%%)", high)
+	}
+	if share := float64(high) / float64(len(loops)); share < 0.095 || share > 0.105 {
+		t.Errorf("high-pressure share %.4f, golden 0.1006", share)
+	}
+	if cs := float64(highCycles) / float64(totalCycles); cs < 0.35 || cs > 0.36 {
+		t.Errorf("high-pressure cycle share %.4f, golden 0.3554", cs)
+	}
+	// The >32-register tail the differential scheme targets, plus the
+	// bulk of the population sitting comfortably under 16 registers.
+	goldenHist := map[int]int{0: 248, 1: 1348, 2: 112, 3: 21, 4: 71, 5: 82, 6: 46}
+	for b, want := range goldenHist {
+		if hist[b] != want {
+			t.Errorf("MaxLive bucket [%d,%d): %d loops, golden %d", b*8, b*8+8, hist[b], want)
+		}
+	}
+	for b := range hist {
+		if _, ok := goldenHist[b]; !ok {
+			t.Errorf("unexpected MaxLive bucket [%d,%d): %d loops", b*8, b*8+8, hist[b])
+		}
+	}
+}
